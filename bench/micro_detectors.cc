@@ -1,0 +1,117 @@
+// Micro-benchmarks for the outlier detectors, including the DESIGN.md
+// ablation: windowed 1-D exact LOF vs the naive O(n^2) formulation.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/outlier/grubbs.h"
+#include "src/outlier/histogram_detector.h"
+#include "src/outlier/iqr.h"
+#include "src/outlier/lof.h"
+#include "src/outlier/zscore.h"
+
+namespace {
+
+std::vector<double> MakeValues(size_t n) {
+  pcor::Rng rng(3);
+  std::vector<double> values(n);
+  for (auto& v : values) v = 100.0 + 15.0 * rng.NextGaussian();
+  values[n / 2] = 400.0;  // one planted outlier
+  return values;
+}
+
+void BM_Grubbs(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<size_t>(state.range(0)));
+  pcor::GrubbsDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(values));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Grubbs)->Range(256, 1 << 15);
+
+void BM_Histogram(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<size_t>(state.range(0)));
+  pcor::HistogramDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(values));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Histogram)->Range(256, 1 << 15);
+
+void BM_LofWindowed(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<size_t>(state.range(0)));
+  pcor::LofDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(values));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_LofWindowed)->Range(256, 1 << 15);
+
+// Naive O(n^2) LOF scoring, for the ablation comparison only.
+void BM_LofNaive(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<size_t>(state.range(0)));
+  const size_t n = values.size();
+  const size_t k = 10;
+  for (auto _ : state) {
+    std::vector<std::vector<size_t>> knn(n);
+    std::vector<double> kdist(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<size_t> others;
+      others.reserve(n - 1);
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) others.push_back(j);
+      }
+      std::partial_sort(others.begin(), others.begin() + k, others.end(),
+                        [&](size_t a, size_t b) {
+                          return std::abs(values[a] - values[i]) <
+                                 std::abs(values[b] - values[i]);
+                        });
+      others.resize(k);
+      kdist[i] = std::abs(values[others.back()] - values[i]);
+      knn[i] = std::move(others);
+    }
+    std::vector<double> lrd(n);
+    for (size_t i = 0; i < n; ++i) {
+      double reach = 0;
+      for (size_t j : knn[i]) {
+        reach += std::max(kdist[j], std::abs(values[i] - values[j]));
+      }
+      lrd[i] = reach > 0 ? k / reach : 1e300;
+    }
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j : knn[i]) acc += lrd[j] / lrd[i];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_LofNaive)->Range(256, 1 << 12);
+
+void BM_Zscore(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<size_t>(state.range(0)));
+  pcor::ZscoreDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(values));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Zscore)->Range(256, 1 << 15);
+
+void BM_Iqr(benchmark::State& state) {
+  const auto values = MakeValues(static_cast<size_t>(state.range(0)));
+  pcor::IqrDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(values));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_Iqr)->Range(256, 1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Micro-benchmarks for the Exponential mechanism — the ablation DESIGN.md
+// calls out: Gumbel-max sampling vs normalized inverse-CDF sampling, and
+// the cost of exact probability computation (used by the OCDP experiments).
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/dp/mechanism.h"
+
+namespace {
+
+std::vector<double> MakeScores(size_t n) {
+  pcor::Rng rng(7);
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = rng.NextDouble() * 1000.0;
+  return scores;
+}
+
+void BM_ChooseGumbel(benchmark::State& state) {
+  const auto scores = MakeScores(static_cast<size_t>(state.range(0)));
+  pcor::ExponentialMechanism mech(0.1, 1.0, pcor::ExpMechSampling::kGumbel);
+  pcor::Rng rng(11);
+  for (auto _ : state) {
+    auto pick = mech.Choose(scores, &rng);
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChooseGumbel)->Range(16, 1 << 14);
+
+void BM_ChooseNormalized(benchmark::State& state) {
+  const auto scores = MakeScores(static_cast<size_t>(state.range(0)));
+  pcor::ExponentialMechanism mech(0.1, 1.0,
+                                  pcor::ExpMechSampling::kNormalized);
+  pcor::Rng rng(11);
+  for (auto _ : state) {
+    auto pick = mech.Choose(scores, &rng);
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChooseNormalized)->Range(16, 1 << 14);
+
+void BM_Probabilities(benchmark::State& state) {
+  const auto scores = MakeScores(static_cast<size_t>(state.range(0)));
+  pcor::ExponentialMechanism mech(0.1, 1.0);
+  for (auto _ : state) {
+    auto p = mech.Probabilities(scores);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Probabilities)->Range(16, 1 << 14);
+
+void BM_LaplaceNoise(benchmark::State& state) {
+  pcor::Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextLaplace(2.0));
+  }
+}
+BENCHMARK(BM_LaplaceNoise);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Micro-benchmarks for the population engine — the bitmap-index-vs-naive
+// row scan ablation from DESIGN.md. The bitmap index is what makes f_M
+// cheap enough for graph search.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/context/population_index.h"
+#include "src/data/salary_generator.h"
+
+namespace {
+
+using pcor::ContextVec;
+using pcor::Dataset;
+using pcor::GeneratedData;
+using pcor::PopulationIndex;
+
+const Dataset& SharedDataset(size_t rows) {
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<GeneratedData>>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    pcor::SalaryDatasetSpec spec = pcor::ReducedSalarySpec();
+    spec.num_rows = rows;
+    spec.num_planted = 10;
+    auto data = pcor::GenerateSalaryDataset(spec);
+    data.status().CheckOK();
+    it = cache
+             ->emplace(rows, std::make_unique<GeneratedData>(
+                                 std::move(*data)))
+             .first;
+  }
+  return it->second->dataset;
+}
+
+ContextVec MidContext(const pcor::Schema& schema) {
+  ContextVec c(schema.total_values());
+  for (size_t bit = 0; bit < c.num_bits(); bit += 2) c.Set(bit);
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    c.Set(schema.value_offset(a));  // at least one value per attribute
+  }
+  return c;
+}
+
+void BM_PopulationCountBitmap(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(static_cast<size_t>(state.range(0)));
+  PopulationIndex index(dataset);
+  ContextVec c = MidContext(dataset.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.PopulationCount(c));
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_rows());
+}
+BENCHMARK(BM_PopulationCountBitmap)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PopulationCountNaive(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(static_cast<size_t>(state.range(0)));
+  ContextVec c = MidContext(dataset.schema());
+  const pcor::Schema& schema = dataset.schema();
+  for (auto _ : state) {
+    size_t count = 0;
+    for (uint32_t row = 0; row < dataset.num_rows(); ++row) {
+      if (pcor::context_ops::ContainsRow(schema, dataset, row, c)) ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_rows());
+}
+BENCHMARK(BM_PopulationCountNaive)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_IndexConstruction(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    PopulationIndex index(dataset);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.num_rows());
+}
+BENCHMARK(BM_IndexConstruction)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_OverlapCount(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(static_cast<size_t>(state.range(0)));
+  PopulationIndex index(dataset);
+  ContextVec c1 = MidContext(dataset.schema());
+  ContextVec c2 = pcor::context_ops::FullContext(dataset.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.OverlapCount(c1, c2));
+  }
+}
+BENCHMARK(BM_OverlapCount)->Arg(10000)->Arg(50000);
+
+void BM_MetricExtraction(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(static_cast<size_t>(state.range(0)));
+  PopulationIndex index(dataset);
+  ContextVec c = MidContext(dataset.schema());
+  for (auto _ : state) {
+    auto metric = index.MetricOf(c);
+    benchmark::DoNotOptimize(metric);
+  }
+}
+BENCHMARK(BM_MetricExtraction)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

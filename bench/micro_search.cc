@@ -1,0 +1,109 @@
+// Micro-benchmarks for the sampling layer: per-release cost of each
+// algorithm on the reduced salary workload, plus the detector-memoization
+// ablation (cache on vs off) from DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "src/context/starting_context.h"
+#include "src/exp/workloads.h"
+#include "src/outlier/lof.h"
+#include "src/search/pcor.h"
+
+namespace {
+
+using namespace pcor;
+
+struct SearchFixture {
+  Workload workload;
+  LofDetector detector;
+  std::unique_ptr<PcorEngine> engine;
+  uint32_t v_row = 0;
+
+  SearchFixture() {
+    auto w = MakeReducedSalaryWorkload(/*scale=*/0.05);
+    w.status().CheckOK();
+    workload = std::move(*w);
+    engine = std::make_unique<PcorEngine>(workload.data.dataset, detector);
+    Rng rng(5);
+    auto outliers = SelectQueryOutliers(
+        engine->verifier(), workload.data.planted_outlier_rows, 1, &rng);
+    if (!outliers.empty()) v_row = outliers.front();
+  }
+};
+
+SearchFixture& Fixture() {
+  static auto* fixture = new SearchFixture();
+  return *fixture;
+}
+
+void RunRelease(benchmark::State& state, SamplerKind kind) {
+  auto& fixture = Fixture();
+  PcorOptions options;
+  options.sampler = kind;
+  options.num_samples = static_cast<size_t>(state.range(0));
+  options.total_epsilon = 0.2;
+  options.max_probes = 5'000'000;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto release = fixture.engine->Release(fixture.v_row, options, &rng);
+    benchmark::DoNotOptimize(release);
+  }
+}
+
+void BM_ReleaseRandomWalk(benchmark::State& state) {
+  RunRelease(state, SamplerKind::kRandomWalk);
+}
+BENCHMARK(BM_ReleaseRandomWalk)->Arg(25)->Arg(50);
+
+void BM_ReleaseDfs(benchmark::State& state) {
+  RunRelease(state, SamplerKind::kDfs);
+}
+BENCHMARK(BM_ReleaseDfs)->Arg(25)->Arg(50);
+
+void BM_ReleaseBfs(benchmark::State& state) {
+  RunRelease(state, SamplerKind::kBfs);
+}
+BENCHMARK(BM_ReleaseBfs)->Arg(25)->Arg(50);
+
+void BM_ReleaseUniform(benchmark::State& state) {
+  RunRelease(state, SamplerKind::kUniform);
+}
+BENCHMARK(BM_ReleaseUniform)->Arg(10);
+
+// Ablation: the same BFS release against a verifier with memoization
+// disabled — every context probe reruns the detector.
+void BM_ReleaseBfsNoCache(benchmark::State& state) {
+  auto& fixture = Fixture();
+  VerifierOptions no_cache;
+  no_cache.enable_cache = false;
+  PcorEngine engine(fixture.workload.data.dataset, fixture.detector,
+                    no_cache);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = static_cast<size_t>(state.range(0));
+  options.total_epsilon = 0.2;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto release = engine.Release(fixture.v_row, options, &rng);
+    benchmark::DoNotOptimize(release);
+  }
+}
+BENCHMARK(BM_ReleaseBfsNoCache)->Arg(25);
+
+void BM_StartingContextSearch(benchmark::State& state) {
+  auto& fixture = Fixture();
+  StartingContextOptions options;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto start = FindStartingContext(fixture.engine->verifier(),
+                                     fixture.v_row, options, &rng);
+    benchmark::DoNotOptimize(start);
+  }
+}
+BENCHMARK(BM_StartingContextSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Reproduces Table 12 (salary) and Table 13 (homicide): how often the OCDP
+// assumption COE(D1, V) = COE(D2, V) holds between a dataset and neighbors
+// at record distance Delta in {1, 5, 10, 25}, for the Grubbs / LOF /
+// Histogram detectors (Section 6.7, objective i). Match is reported as the
+// average Jaccard similarity of the two context sets (and exact-equality
+// rate), since the paper does not pin down its formula.
+#include "bench/bench_util.h"
+#include "src/context/coe.h"
+#include "src/data/neighbor.h"
+
+using namespace pcor;
+using namespace pcor::bench;
+
+namespace {
+
+struct MatchRow {
+  std::string detector;
+  double avg_jaccard[4] = {0, 0, 0, 0};
+  double equal_rate[4] = {0, 0, 0, 0};
+};
+
+void RunDataset(const char* title, const Workload& workload,
+                const BenchEnv& env, TableRenderer* table,
+                const char* paper_note) {
+  const size_t deltas[4] = {1, 5, 10, 25};
+  const size_t neighbors_per_delta =
+      strings::EnvSizeOr("PCOR_NEIGHBORS", 4);
+
+  report::SectionHeader(title);
+  std::printf("dataset: %zu rows, t = %zu; %zu outliers x %zu neighbors "
+              "per delta (paper: 100 x 50)\n",
+              workload.data.dataset.num_rows(),
+              workload.data.dataset.schema().total_values(), env.outliers,
+              neighbors_per_delta);
+
+  for (const char* detector_name : {"grubbs", "lof", "histogram"}) {
+    auto detector = MakeDetector(detector_name);
+    detector.status().CheckOK();
+    PopulationIndex index(workload.data.dataset);
+    OutlierVerifier verifier(index, **detector);
+    Rng rng(env.seed + 17);
+    auto outliers = SelectQueryOutliers(
+        verifier, workload.data.planted_outlier_rows, env.outliers, &rng);
+    if (outliers.empty()) {
+      std::printf("  %s: no verified outliers, skipped\n", detector_name);
+      continue;
+    }
+
+    MatchRow row;
+    row.detector = detector_name;
+    for (size_t d = 0; d < 4; ++d) {
+      RunningStats jaccard;
+      size_t equal = 0, total = 0;
+      for (uint32_t v_row : outliers) {
+        auto base_coe = EnumerateCoe(verifier, v_row);
+        if (!base_coe.ok()) continue;
+        for (size_t k = 0; k < neighbors_per_delta; ++k) {
+          NeighborOptions options;
+          options.delta = deltas[d];
+          options.protected_rows = {v_row};
+          auto neighbor = MakeNeighbor(workload.data.dataset, options, &rng);
+          if (!neighbor.ok()) continue;
+          PopulationIndex index2(neighbor->dataset);
+          OutlierVerifier verifier2(index2, **detector);
+          const uint32_t row2 = neighbor->row_mapping[v_row];
+          auto coe2 = EnumerateCoe(verifier2, row2);
+          if (!coe2.ok()) continue;
+          auto match = CompareCoe(*base_coe, *coe2);
+          jaccard.Add(match.jaccard);
+          equal += (match.only_left == 0 && match.only_right == 0);
+          ++total;
+        }
+      }
+      if (total > 0) {
+        row.avg_jaccard[d] = jaccard.mean();
+        row.equal_rate[d] = static_cast<double>(equal) / total;
+      }
+    }
+    table->AddRow({row.detector,
+                   strings::Format("%.1f%%", 100 * row.avg_jaccard[0]),
+                   strings::Format("%.1f%%", 100 * row.avg_jaccard[1]),
+                   strings::Format("%.1f%%", 100 * row.avg_jaccard[2]),
+                   strings::Format("%.1f%%", 100 * row.avg_jaccard[3])});
+    std::printf("  %s exact-equality rate: %.0f%% / %.0f%% / %.0f%% / "
+                "%.0f%% at delta 1/5/10/25\n",
+                detector_name, 100 * row.equal_rate[0],
+                100 * row.equal_rate[1], 100 * row.equal_rate[2],
+                100 * row.equal_rate[3]);
+  }
+  std::printf("%s", table->Render().c_str());
+  report::Note(paper_note);
+  report::Note(
+      "expected shape: match decreases with delta; histogram degrades "
+      "fastest (bin boundaries move with every record)");
+}
+
+}  // namespace
+
+int main() {
+  // Every (outlier, neighbor) pair costs a full COE enumeration, so this
+  // bench defaults to a quarter-scale dataset — the paper made the same
+  // concession, running Section 6.7 on deliberately reduced datasets "to
+  // run several experiments in a reasonable amount of time".
+  BenchEnv env = ReadBenchEnv(/*default_scale=*/0.25);
+  PrintEnv(env, "Table 12/13: COE match between neighboring datasets");
+
+  auto salary = MakeReducedSalaryWorkload(env.scale);
+  salary.status().CheckOK();
+  TableRenderer t12({"Algorithm", "dD=1", "dD=5", "dD=10", "dD=25"});
+  RunDataset("Table 12 (measured): COE match, salary dataset", *salary, env,
+             &t12,
+             "paper: grubbs 99.8/96.9/94.5/91.9, lof 89/87.9/86.7/85.7, "
+             "histogram 95.5/82.1/70.8/58.8 (%)");
+
+  auto homicide = MakeReducedHomicideWorkload(env.scale);
+  homicide.status().CheckOK();
+  TableRenderer t13({"Algorithm", "dD=1", "dD=5", "dD=10", "dD=25"});
+  RunDataset("Table 13 (measured): COE match, homicide dataset", *homicide,
+             env, &t13,
+             "paper: grubbs 100/100/100/97.8, lof 99.9/99.5/98.7/97.7, "
+             "histogram 98.5/85.2/69.3/53.3 (%)");
+  return 0;
+}

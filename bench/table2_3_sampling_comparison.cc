@@ -1,0 +1,87 @@
+// Reproduces Table 2 (sampling methods, runtime) and Table 3 (sampling
+// methods, utility) of the paper, plus the Figure 1 histogram panels —
+// utility and runtime distributions per sampler. Setup per Section 6.3:
+// reduced salary dataset, LOF detector, population-size utility, eps = 0.2,
+// n = 50 samples.
+#include "bench/bench_util.h"
+
+using namespace pcor;
+using namespace pcor::bench;
+
+int main() {
+  BenchEnv env = ReadBenchEnv();
+  PrintEnv(env,
+           "Table 2/3 + Figure 1: sampling method comparison "
+           "(LOF, eps=0.2, n=50, population-size utility)");
+
+  auto setup = MakeSalarySetup(env, "lof");
+  if (!setup) return 1;
+  std::printf("dataset: %zu rows, t = %zu attribute values, %zu outliers\n",
+              setup->workload.data.dataset.num_rows(),
+              setup->workload.data.dataset.schema().total_values(),
+              setup->outliers.size());
+
+  const SamplerKind kinds[] = {SamplerKind::kUniform,
+                               SamplerKind::kRandomWalk, SamplerKind::kDfs,
+                               SamplerKind::kBfs};
+
+  TableRenderer perf({"Algorithm", "Tmin", "Tmax", "Tavg", "eps"});
+  TableRenderer util({"Algorithm", "Utility", "CI(90%)", "eps"});
+  struct Series {
+    std::string name;
+    std::vector<double> utilities;
+    std::vector<double> runtimes;
+  };
+  std::vector<Series> all_series;
+
+  for (SamplerKind kind : kinds) {
+    auto result = RunConfig(*setup, env, kind,
+                            UtilityKind::kPopulationSize, 0.2, 50);
+    if (!result.ok()) {
+      std::printf("%s failed: %s\n", SamplerKindName(kind).c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto runtime = result->runtime();
+    auto ci = result->utility_ci(0.90);
+    perf.AddRow({SamplerKindName(kind),
+                 report::FormatRuntime(runtime.min_seconds),
+                 report::FormatRuntime(runtime.max_seconds),
+                 report::FormatRuntime(runtime.avg_seconds), "0.2"});
+    util.AddRow({SamplerKindName(kind),
+                 strings::Format("%.2f", ci.mean),
+                 report::FormatUtilityCi(ci), "0.2"});
+    all_series.push_back(
+        {SamplerKindName(kind), result->utility_ratios, result->runtimes});
+  }
+
+  report::SectionHeader("Table 2 (measured): runtime per sampling method");
+  std::printf("%s", perf.Render().c_str());
+  report::Note(
+      "paper (51k rows, 1TB/132-core box): uniform 7m/24h/97m, "
+      "random_walk 15s/109s/51s, dfs 8m/80m/40m, bfs 6m/61m/37m");
+  report::Note(
+      "expected shape: uniform has a heavy Tmax tail; random_walk is "
+      "fastest; bfs <= dfs");
+
+  report::SectionHeader("Table 3 (measured): utility per sampling method");
+  std::printf("%s", util.Render().c_str());
+  report::Note(
+      "paper: uniform 0.65 (0.64,0.67), random_walk 0.57 (0.55,0.60), "
+      "dfs 0.88 (0.85,0.90), bfs 0.90 (0.88,0.93)");
+  report::Note(
+      "expected shape: bfs >= dfs >> random_walk; uniform in between");
+
+  report::SectionHeader("Figure 1 data: utility / runtime distributions");
+  for (const auto& series : all_series) {
+    report::PrintHistogram("Fig 1 utility: " + series.name,
+                           series.utilities, 0.0, 1.0, 10);
+  }
+  for (const auto& series : all_series) {
+    double max_rt = 0;
+    for (double r : series.runtimes) max_rt = std::max(max_rt, r);
+    report::PrintHistogram("Fig 1 runtime (s): " + series.name,
+                           series.runtimes, 0.0, std::max(max_rt, 1e-3), 10);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table 6 (runtime) and Table 7 (utility) plus Figure 3: PCOR
+// with the Grubbs and Histogram detectors under BFS sampling (Section 6.5).
+// Paper setup: reduced salary dataset (11,000 rows, 14 attribute values),
+// n = 50, eps = 0.2. LOF numbers (from Tables 2/3) are included for
+// reference, demonstrating detector-agnosticism.
+#include "bench/bench_util.h"
+
+using namespace pcor;
+using namespace pcor::bench;
+
+int main() {
+  BenchEnv env = ReadBenchEnv();
+  PrintEnv(env,
+           "Table 6/7 + Figure 3: detector sweep under BFS "
+           "(eps=0.2, n=50, population-size utility)");
+
+  TableRenderer perf({"Detector", "Tmin", "Tmax", "Tavg", "Sampling"});
+  TableRenderer util({"Detector", "Utility", "CI(90%)", "Sampling"});
+  struct Series {
+    std::string name;
+    std::vector<double> utilities;
+    std::vector<double> runtimes;
+  };
+  std::vector<Series> all_series;
+
+  for (const char* detector : {"grubbs", "histogram", "lof"}) {
+    auto setup = MakeSalarySetup(env, detector);
+    if (!setup) {
+      std::printf("skipping %s (no verified outliers)\n", detector);
+      continue;
+    }
+    auto result = RunConfig(*setup, env, SamplerKind::kBfs,
+                            UtilityKind::kPopulationSize, 0.2, 50);
+    if (!result.ok()) {
+      std::printf("%s failed: %s\n", detector,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto runtime = result->runtime();
+    auto ci = result->utility_ci(0.90);
+    perf.AddRow({detector, report::FormatRuntime(runtime.min_seconds),
+                 report::FormatRuntime(runtime.max_seconds),
+                 report::FormatRuntime(runtime.avg_seconds), "BFS"});
+    util.AddRow({detector, strings::Format("%.2f", ci.mean),
+                 report::FormatUtilityCi(ci), "BFS"});
+    all_series.push_back(
+        {detector, result->utility_ratios, result->runtimes});
+  }
+
+  report::SectionHeader("Table 6 (measured): detector sweep, runtime");
+  std::printf("%s", perf.Render().c_str());
+  report::Note("paper: grubbs 0.5m/1m/0.8m, histogram 2m/4m/3.4m");
+  report::Note(
+      "expected shape: grubbs fastest (single statistic), histogram "
+      "next, lof slowest");
+
+  report::SectionHeader("Table 7 (measured): detector sweep, utility");
+  std::printf("%s", util.Render().c_str());
+  report::Note("paper: grubbs 0.86 (0.84,0.89), histogram 0.89 (0.87,0.91)");
+  report::Note(
+      "expected shape: all detectors achieve high utility under BFS — "
+      "PCOR is detector-agnostic, and locality holds for all of them");
+
+  report::SectionHeader("Figure 3 data: distributions");
+  for (const auto& series : all_series) {
+    report::PrintHistogram("Fig 3 utility: " + series.name,
+                           series.utilities, 0.0, 1.0, 10);
+  }
+  for (const auto& series : all_series) {
+    double max_rt = 0;
+    for (double r : series.runtimes) max_rt = std::max(max_rt, r);
+    report::PrintHistogram("Fig 3 runtime (s): " + series.name,
+                           series.runtimes, 0.0, std::max(max_rt, 1e-3), 10);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pcor {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PCOR_LOG(level)                                            \
+  ::pcor::internal::LogMessage(::pcor::LogLevel::k##level,         \
+                               __FILE__, __LINE__)
+
+/// \brief CHECK-style invariant assertion, active in all build types.
+#define PCOR_CHECK(cond)                                           \
+  if (!(cond))                                                     \
+  ::pcor::internal::FatalMessage(__FILE__, __LINE__).stream()      \
+      << "Check failed: " #cond " "
+
+namespace internal {
+
+/// \brief Emits its message and aborts on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pcor

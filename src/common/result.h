@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace pcor {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Construction from T yields an OK
+/// result; construction from a non-OK Status yields an error result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Access the value. Aborts in debug builds when not ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// \brief Aborts the process when this holds an error; returns the value.
+  T& ValueOrDie() {
+    status_.CheckOK();
+    return *value_;
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// \brief Assigns an OK result to `lhs` or returns its error to the caller.
+#define PCOR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define PCOR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PCOR_ASSIGN_OR_RETURN_IMPL(             \
+      PCOR_CONCAT_(_pcor_result_, __LINE__), lhs, rexpr)
+
+#define PCOR_CONCAT_INNER_(a, b) a##b
+#define PCOR_CONCAT_(a, b) PCOR_CONCAT_INNER_(a, b)
+
+}  // namespace pcor

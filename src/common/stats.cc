@@ -1,0 +1,141 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/math_util.h"
+
+namespace pcor {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
+                                          double level) {
+  PCOR_CHECK(level > 0 && level < 1) << "CI level must be in (0,1)";
+  ConfidenceInterval ci;
+  ci.level = level;
+  if (samples.empty()) return ci;
+  RunningStats rs;
+  for (double s : samples) rs.Add(s);
+  ci.mean = rs.mean();
+  if (samples.size() < 2) {
+    ci.lower = ci.upper = ci.mean;
+    return ci;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double se = rs.stddev() / std::sqrt(n);
+  const double t =
+      math::StudentTQuantile(0.5 + level / 2.0, n - 1.0);
+  ci.lower = ci.mean - t * se;
+  ci.upper = ci.mean + t * se;
+  return ci;
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  PCOR_CHECK(!samples.empty()) << "Percentile of empty sample";
+  PCOR_CHECK(q >= 0.0 && q <= 1.0) << "Percentile q must be in [0,1]";
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+HistogramBuilder::HistogramBuilder(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  PCOR_CHECK(bins > 0) << "Histogram needs at least one bin";
+  PCOR_CHECK(hi > lo) << "Histogram range must be non-empty";
+}
+
+void HistogramBuilder::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double idx = (x - lo_) / width;
+  long bin = static_cast<long>(std::floor(idx));
+  bin = std::max(0L, std::min(bin, static_cast<long>(counts_.size()) - 1));
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void HistogramBuilder::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double HistogramBuilder::bin_lo(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double HistogramBuilder::bin_hi(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+std::string HistogramBuilder::ToAscii(size_t max_width) const {
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%8.3f, %8.3f) %6zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out << label;
+    size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / std::max<size_t>(peak, 1);
+    for (size_t b = 0; b < bar; ++b) out << '#';
+    out << '\n';
+  }
+  return out.str();
+}
+
+RuntimeSummary SummarizeRuntimes(const std::vector<double>& seconds) {
+  RuntimeSummary s;
+  if (seconds.empty()) return s;
+  RunningStats rs;
+  for (double v : seconds) rs.Add(v);
+  s.min_seconds = rs.min();
+  s.max_seconds = rs.max();
+  s.avg_seconds = rs.mean();
+  s.trials = rs.count();
+  return s;
+}
+
+}  // namespace pcor

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pcor {
+
+/// \brief Single-pass accumulator for mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// \brief Unbiased sample variance (0 when count < 2).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Two-sided confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.0;  ///< e.g. 0.90 for the paper's 90% CIs
+};
+
+/// \brief Student-t confidence interval for the mean of `samples`.
+/// Falls back to a degenerate [mean, mean] interval for n < 2.
+ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
+                                          double level);
+
+/// \brief Exact percentile with linear interpolation (q in [0, 1]).
+double Percentile(std::vector<double> samples, double q);
+
+/// \brief Fixed-width histogram over [min, max] used to reproduce the
+/// paper's figure panels (utility / runtime distributions).
+class HistogramBuilder {
+ public:
+  /// \brief Buckets `samples` into `bins` equal-width bins spanning
+  /// [lo, hi]; out-of-range samples clamp to the boundary bins.
+  HistogramBuilder(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  const std::vector<size_t>& counts() const { return counts_; }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+  size_t total() const { return total_; }
+
+  /// \brief Renders an ASCII histogram, one line per bin, for reports.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// \brief Summary statistics of a runtime series in the paper's format
+/// (Tmin / Tmax / Tavg).
+struct RuntimeSummary {
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double avg_seconds = 0.0;
+  size_t trials = 0;
+};
+
+RuntimeSummary SummarizeRuntimes(const std::vector<double>& seconds);
+
+}  // namespace pcor

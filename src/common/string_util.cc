@@ -1,0 +1,116 @@
+#include "src/common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcor {
+namespace strings {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 0) return "-" + HumanDuration(-seconds);
+  if (seconds < 1.0) return Format("%.0fms", seconds * 1000.0);
+  if (seconds < 60.0) return Format("%.1fs", seconds);
+  if (seconds < 3600.0) {
+    int m = static_cast<int>(seconds / 60.0);
+    return Format("%dm %04.1fs", m, seconds - 60.0 * m);
+  }
+  int h = static_cast<int>(seconds / 3600.0);
+  double rem = seconds - 3600.0 * h;
+  return Format("%dh %dm", h, static_cast<int>(rem / 60.0));
+}
+
+size_t ParseSizeOr(std::string_view s, size_t fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  std::string tmp(s);
+  unsigned long long v = std::strtoull(tmp.c_str(), &end, 10);
+  if (end == tmp.c_str() || *end != '\0') return fallback;
+  return static_cast<size_t>(v);
+}
+
+double ParseDoubleOr(std::string_view s, double fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  std::string tmp(s);
+  double v = std::strtod(tmp.c_str(), &end);
+  if (end == tmp.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? ParseSizeOr(v, fallback) : fallback;
+}
+
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? ParseDoubleOr(v, fallback) : fallback;
+}
+
+}  // namespace strings
+}  // namespace pcor

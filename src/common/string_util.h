@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcor {
+namespace strings {
+
+/// \brief Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// \brief printf-style formatting into std::string.
+std::string Format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Renders seconds as "1.5s", "2m 03s", or "450ms" as appropriate.
+std::string HumanDuration(double seconds);
+
+/// \brief Parses a non-negative integer; returns fallback on failure.
+size_t ParseSizeOr(std::string_view s, size_t fallback);
+
+/// \brief Parses a double; returns fallback on failure.
+double ParseDoubleOr(std::string_view s, double fallback);
+
+/// \brief Reads an environment variable as size_t/double, with fallback.
+size_t EnvSizeOr(const char* name, size_t fallback);
+double EnvDoubleOr(const char* name, double fallback);
+
+}  // namespace strings
+}  // namespace pcor

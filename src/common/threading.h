@@ -1,0 +1,51 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pcor {
+
+/// \brief Fixed-size worker pool for embarrassingly parallel experiment
+/// trials (the paper repeats every configuration 200 times).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Runs fn(i) for i in [0, n) across up to `num_threads` workers and
+/// blocks until completion. fn must be thread-safe across distinct i.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+/// \brief Hardware concurrency with a sane floor of 1.
+size_t DefaultThreadCount();
+
+}  // namespace pcor

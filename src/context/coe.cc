@@ -1,0 +1,89 @@
+#include "src/context/coe.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+Result<std::vector<ContextVec>> EnumerateCoe(const OutlierVerifier& verifier,
+                                             uint32_t v_row,
+                                             const CoeOptions& options) {
+  const Schema& schema = verifier.index().schema();
+  const Dataset& dataset = verifier.index().dataset();
+  if (v_row >= dataset.num_rows()) {
+    return Status::OutOfRange("v_row outside dataset");
+  }
+  const size_t t = schema.total_values();
+  const size_t m = schema.num_attributes();
+
+  // Bits that must be set for V to be in D_C.
+  std::vector<size_t> fixed_bits;
+  fixed_bits.reserve(m);
+  for (size_t a = 0; a < m; ++a) {
+    fixed_bits.push_back(schema.value_offset(a) + dataset.code(v_row, a));
+  }
+  // Remaining free bits.
+  std::vector<size_t> free_bits;
+  free_bits.reserve(t - m);
+  for (size_t bit = 0; bit < t; ++bit) {
+    if (std::find(fixed_bits.begin(), fixed_bits.end(), bit) ==
+        fixed_bits.end()) {
+      free_bits.push_back(bit);
+    }
+  }
+  if (free_bits.size() >= 63 ||
+      (size_t{1} << free_bits.size()) > options.max_contexts) {
+    return Status::FailedPrecondition(strings::Format(
+        "COE enumeration would visit 2^%zu contexts (cap %zu)",
+        free_bits.size(), options.max_contexts));
+  }
+
+  std::vector<ContextVec> matches;
+  const uint64_t combos = uint64_t{1} << free_bits.size();
+  for (uint64_t mask = 0; mask < combos; ++mask) {
+    ContextVec c(t);
+    for (size_t bit : fixed_bits) c.Set(bit);
+    for (size_t j = 0; j < free_bits.size(); ++j) {
+      if ((mask >> j) & 1) c.Set(free_bits[j]);
+    }
+    if (verifier.IsOutlierInContext(c, v_row)) matches.push_back(c);
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+CoeMatch CompareCoe(const std::vector<ContextVec>& left,
+                    const std::vector<ContextVec>& right) {
+  // Both inputs are sorted (EnumerateCoe guarantees it); merge-count.
+  CoeMatch match;
+  size_t i = 0, j = 0;
+  while (i < left.size() && j < right.size()) {
+    if (left[i] == right[j]) {
+      ++match.intersection_size;
+      ++i;
+      ++j;
+    } else if (left[i] < right[j]) {
+      ++match.only_left;
+      ++i;
+    } else {
+      ++match.only_right;
+      ++j;
+    }
+  }
+  match.only_left += left.size() - i;
+  match.only_right += right.size() - j;
+  match.union_size =
+      match.intersection_size + match.only_left + match.only_right;
+  match.jaccard = match.union_size == 0
+                      ? 1.0
+                      : static_cast<double>(match.intersection_size) /
+                            static_cast<double>(match.union_size);
+  match.containment = left.empty()
+                          ? 1.0
+                          : static_cast<double>(match.intersection_size) /
+                                static_cast<double>(left.size());
+  return match;
+}
+
+}  // namespace pcor

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/context/context.h"
+#include "src/outlier/detector_cache.h"
+
+namespace pcor {
+
+/// \brief Options for contextual outlier enumeration.
+struct CoeOptions {
+  /// Safety valve: fail rather than enumerate more candidate contexts.
+  size_t max_contexts = size_t{1} << 24;
+};
+
+/// \brief Contextual Outlier Enumeration COE_M(D, V) — Definition 3.1: all
+/// contexts C over the schema's full domains with V in D_C and
+/// f_M(D_C, V) = true.
+///
+/// The paper's direct approach ranges over all 2^t contexts; we enumerate
+/// only the 2^(t-m) contexts whose per-attribute value sets contain V's own
+/// values (every other context fails "V in D_C" immediately, so the result
+/// is identical; the cost is still exponential in t, as Theorem 4.2 says).
+/// Returned contexts are in ascending ContextVec order.
+Result<std::vector<ContextVec>> EnumerateCoe(const OutlierVerifier& verifier,
+                                             uint32_t v_row,
+                                             const CoeOptions& options = {});
+
+/// \brief Set comparison of two COE results — the measurement behind the
+/// paper's Tables 12/13 ("COE match" between a dataset and its neighbors).
+/// The paper does not pin down its match formula; we report both Jaccard
+/// similarity and containment (fraction of the left set preserved).
+struct CoeMatch {
+  size_t intersection_size = 0;
+  size_t union_size = 0;
+  size_t only_left = 0;
+  size_t only_right = 0;
+  double jaccard = 1.0;       ///< |A ∩ B| / |A ∪ B|; 1.0 when both empty
+  double containment = 1.0;   ///< |A ∩ B| / |A|;     1.0 when A empty
+};
+
+CoeMatch CompareCoe(const std::vector<ContextVec>& left,
+                    const std::vector<ContextVec>& right);
+
+}  // namespace pcor

@@ -1,0 +1,168 @@
+#include "src/context/context.h"
+
+#include "src/common/logging.h"
+
+namespace pcor {
+
+ContextVec::ContextVec(size_t num_bits) : num_bits_(num_bits) {
+  PCOR_CHECK(num_bits <= kMaxBits)
+      << "context length " << num_bits << " exceeds kMaxBits " << kMaxBits;
+  words_.fill(0);
+}
+
+void ContextVec::Set(size_t i) {
+  PCOR_CHECK(i < num_bits_) << "ContextVec::Set out of range";
+  words_[i / 64] |= (1ULL << (i % 64));
+}
+
+void ContextVec::Clear(size_t i) {
+  PCOR_CHECK(i < num_bits_) << "ContextVec::Clear out of range";
+  words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+void ContextVec::Flip(size_t i) {
+  PCOR_CHECK(i < num_bits_) << "ContextVec::Flip out of range";
+  words_[i / 64] ^= (1ULL << (i % 64));
+}
+
+bool ContextVec::Test(size_t i) const {
+  PCOR_CHECK(i < num_bits_) << "ContextVec::Test out of range";
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+size_t ContextVec::Weight() const {
+  size_t total = 0;
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+size_t ContextVec::HammingDistance(const ContextVec& other) const {
+  PCOR_CHECK(num_bits_ == other.num_bits_)
+      << "Hamming distance between contexts of different length";
+  size_t total = 0;
+  for (size_t w = 0; w < kWords; ++w) {
+    total += static_cast<size_t>(
+        __builtin_popcountll(words_[w] ^ other.words_[w]));
+  }
+  return total;
+}
+
+void ContextVec::ForEachSetBit(const std::function<void(size_t)>& fn) const {
+  for (size_t w = 0; w < kWords; ++w) {
+    uint64_t word = words_[w];
+    while (word) {
+      unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      fn(w * 64 + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+std::string ContextVec::ToBitString() const {
+  std::string out(num_bits_, '0');
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (Test(i)) out[i] = '1';
+  }
+  return out;
+}
+
+Result<ContextVec> ContextVec::FromBitString(const std::string& bits) {
+  if (bits.size() > kMaxBits) {
+    return Status::InvalidArgument("bit string longer than kMaxBits");
+  }
+  ContextVec c(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      c.Set(i);
+    } else if (bits[i] != '0') {
+      return Status::InvalidArgument("bit string must contain only 0/1");
+    }
+  }
+  return c;
+}
+
+size_t ContextVec::Hash() const {
+  // FNV-1a over the words plus the length.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (uint64_t w : words_) mix(w);
+  mix(static_cast<uint64_t>(num_bits_));
+  return static_cast<size_t>(h);
+}
+
+bool ContextVec::operator<(const ContextVec& other) const {
+  if (num_bits_ != other.num_bits_) return num_bits_ < other.num_bits_;
+  for (size_t w = kWords; w-- > 0;) {
+    if (words_[w] != other.words_[w]) return words_[w] < other.words_[w];
+  }
+  return false;
+}
+
+namespace context_ops {
+
+ContextVec FullContext(const Schema& schema) {
+  ContextVec c(schema.total_values());
+  for (size_t i = 0; i < schema.total_values(); ++i) c.Set(i);
+  return c;
+}
+
+ContextVec ExactContext(const Schema& schema, const Dataset& dataset,
+                        size_t row) {
+  ContextVec c(schema.total_values());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    c.Set(schema.value_offset(a) + dataset.code(row, a));
+  }
+  return c;
+}
+
+bool ContainsRow(const Schema& schema, const Dataset& dataset, size_t row,
+                 const ContextVec& c) {
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (!c.Test(schema.value_offset(a) + dataset.code(row, a))) return false;
+  }
+  return true;
+}
+
+bool HasAllAttributes(const Schema& schema, const ContextVec& c) {
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (AttributeWeight(schema, c, a) == 0) return false;
+  }
+  return true;
+}
+
+size_t AttributeWeight(const Schema& schema, const ContextVec& c,
+                       size_t attr) {
+  const size_t off = schema.value_offset(attr);
+  const size_t size = schema.attribute(attr).domain_size();
+  size_t weight = 0;
+  for (size_t v = 0; v < size; ++v) {
+    if (c.Test(off + v)) ++weight;
+  }
+  return weight;
+}
+
+std::string Describe(const Schema& schema, const ContextVec& c) {
+  std::string out;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a) out += " AND ";
+    out += "[" + schema.attribute(a).name + " IN {";
+    const size_t off = schema.value_offset(a);
+    bool first = true;
+    for (size_t v = 0; v < schema.attribute(a).domain_size(); ++v) {
+      if (!c.Test(off + v)) continue;
+      if (!first) out += ", ";
+      out += schema.attribute(a).domain[v];
+      first = false;
+    }
+    out += "}]";
+  }
+  return out;
+}
+
+}  // namespace context_ops
+}  // namespace pcor

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/context/context.h"
+#include "src/outlier/detector_cache.h"
+
+namespace pcor {
+
+/// \brief Options for the non-private maximum-context search.
+struct MaxContextOptions {
+  /// Hill-climbing restarts (each from a random valid context).
+  size_t restarts = 8;
+  /// Upper bound on climb steps per restart.
+  size_t max_steps = 1024;
+};
+
+/// \brief Result of the search: the best matching context found and its
+/// population size.
+struct MaxContextResult {
+  ContextVec context;
+  size_t population = 0;
+};
+
+/// \brief Data-owner-side (non-private) search for the maximum context of
+/// Definition 3.3 — the matching context with the largest population.
+///
+/// Exact computation requires enumerating COE (O(2^t), the paper's
+/// three-day reference file). This finder is the practical alternative for
+/// large t: steepest-ascent hill climbing on the context graph restricted
+/// to matching contexts, with random restarts. Population is monotone
+/// under adding values, so each climb follows matching "add" edges first
+/// and only then considers sideways moves. The result is a lower bound on
+/// the true maximum; the experiment harness uses exact enumeration when t
+/// permits and this finder otherwise (bench/direct_vs_sampling projection).
+Result<MaxContextResult> FindMaxContext(const OutlierVerifier& verifier,
+                                        uint32_t v_row,
+                                        const MaxContextOptions& options,
+                                        Rng* rng);
+
+}  // namespace pcor

@@ -1,0 +1,100 @@
+#include "src/context/population_index.h"
+
+#include "src/common/logging.h"
+
+namespace pcor {
+
+PopulationIndex::PopulationIndex(const Dataset& dataset)
+    : dataset_(&dataset) {
+  const Schema& schema = dataset.schema();
+  PCOR_CHECK(schema.total_values() <= ContextVec::kMaxBits)
+      << "schema has more attribute values than ContextVec supports";
+  bitmaps_.resize(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    bitmaps_[a].assign(schema.attribute(a).domain_size(),
+                       BitVector(dataset.num_rows()));
+    const auto& column = dataset.attribute_column(a);
+    for (size_t row = 0; row < column.size(); ++row) {
+      bitmaps_[a][column[row]].Set(row);
+    }
+  }
+}
+
+BitVector PopulationIndex::PopulationOf(const ContextVec& c) const {
+  const Schema& schema = dataset_->schema();
+  PCOR_CHECK(c.num_bits() == schema.total_values())
+      << "context length does not match schema";
+  BitVector acc(dataset_->num_rows(), true);
+  BitVector attr_union(dataset_->num_rows());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    attr_union.FillAll(false);
+    const size_t off = schema.value_offset(a);
+    bool any = false;
+    for (size_t v = 0; v < schema.attribute(a).domain_size(); ++v) {
+      if (!c.Test(off + v)) continue;
+      attr_union.OrWith(bitmaps_[a][v]);
+      any = true;
+    }
+    if (!any) {
+      // An attribute with no chosen value selects nothing.
+      return BitVector(dataset_->num_rows());
+    }
+    acc.AndWith(attr_union);
+    if (acc.NoneSet()) break;
+  }
+  return acc;
+}
+
+size_t PopulationIndex::PopulationCount(const ContextVec& c) const {
+  return PopulationOf(c).Count();
+}
+
+size_t PopulationIndex::OverlapCount(const ContextVec& c1,
+                                     const ContextVec& c2) const {
+  BitVector p1 = PopulationOf(c1);
+  BitVector p2 = PopulationOf(c2);
+  return p1.AndCount(p2);
+}
+
+std::vector<uint32_t> PopulationIndex::RowIdsOf(const ContextVec& c) const {
+  return PopulationOf(c).ToIndices();
+}
+
+std::vector<double> PopulationIndex::MetricOf(const ContextVec& c) const {
+  std::vector<double> out;
+  BitVector pop = PopulationOf(c);
+  out.reserve(pop.Count());
+  const auto& metric = dataset_->metric_column();
+  pop.ForEachSetBit([&](uint32_t row) { out.push_back(metric[row]); });
+  return out;
+}
+
+bool PopulationIndex::MetricWithTarget(const ContextVec& c, uint32_t v_row,
+                                       std::vector<double>* metric,
+                                       size_t* v_position) const {
+  metric->clear();
+  BitVector pop = PopulationOf(c);
+  if (v_row >= pop.size() || !pop.Test(v_row)) return false;
+  metric->reserve(pop.Count());
+  const auto& column = dataset_->metric_column();
+  size_t pos = 0;
+  bool found = false;
+  pop.ForEachSetBit([&](uint32_t row) {
+    if (row == v_row) {
+      *v_position = pos;
+      found = true;
+    }
+    metric->push_back(column[row]);
+    ++pos;
+  });
+  return found;
+}
+
+const BitVector& PopulationIndex::ValueBitmap(size_t attr,
+                                              size_t value) const {
+  PCOR_CHECK(attr < bitmaps_.size()) << "attribute index out of range";
+  PCOR_CHECK(value < bitmaps_[attr].size()) << "value index out of range";
+  return bitmaps_[attr][value];
+}
+
+}  // namespace pcor

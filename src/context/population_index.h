@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/bitvector.h"
+#include "src/context/context.h"
+#include "src/data/dataset.h"
+
+namespace pcor {
+
+/// \brief Bitmap index mapping contexts to their populations.
+///
+/// For each (attribute, value) pair the index holds one BitVector over the
+/// dataset's rows. A context's population D_C is then
+///   AND over attributes ( OR over the attribute's chosen values )
+/// computed word-wise — O(t * n/64) per context instead of a full row scan.
+/// This is the workhorse under the outlier verification f_M and both
+/// utility functions.
+class PopulationIndex {
+ public:
+  explicit PopulationIndex(const Dataset& dataset);
+
+  const Dataset& dataset() const { return *dataset_; }
+  const Schema& schema() const { return dataset_->schema(); }
+  size_t num_rows() const { return dataset_->num_rows(); }
+
+  /// \brief Bitmap of rows selected by context `c`.
+  BitVector PopulationOf(const ContextVec& c) const;
+
+  /// \brief |D_C| without materializing row ids.
+  size_t PopulationCount(const ContextVec& c) const;
+
+  /// \brief |D_C1 ∩ D_C2| — the paper's overlap utility numerator.
+  size_t OverlapCount(const ContextVec& c1, const ContextVec& c2) const;
+
+  /// \brief Row ids selected by `c`, ascending.
+  std::vector<uint32_t> RowIdsOf(const ContextVec& c) const;
+
+  /// \brief Metric values of the population, aligned with RowIdsOf order.
+  std::vector<double> MetricOf(const ContextVec& c) const;
+
+  /// \brief Metric values plus the position of row `v_row` inside them.
+  /// Returns false when `v_row` is not in the population.
+  bool MetricWithTarget(const ContextVec& c, uint32_t v_row,
+                        std::vector<double>* metric,
+                        size_t* v_position) const;
+
+  /// \brief Bitmap of rows matching attribute value (attr, value) — exposed
+  /// for tests and micro-benchmarks.
+  const BitVector& ValueBitmap(size_t attr, size_t value) const;
+
+ private:
+  const Dataset* dataset_;
+  // bitmaps_[attr][value] = rows where dataset.code(row, attr) == value.
+  std::vector<std::vector<BitVector>> bitmaps_;
+};
+
+}  // namespace pcor

@@ -1,0 +1,137 @@
+#include "src/context/starting_context.h"
+
+namespace pcor {
+
+namespace {
+
+ContextVec ExactOf(const OutlierVerifier& verifier, uint32_t v_row) {
+  return context_ops::ExactContext(verifier.index().schema(),
+                                   verifier.index().dataset(), v_row);
+}
+
+bool TryGreedyGrow(const OutlierVerifier& verifier, uint32_t v_row,
+                   ContextVec* out) {
+  const Schema& schema = verifier.index().schema();
+  const size_t t = schema.total_values();
+  ContextVec current = ExactOf(verifier, v_row);
+  while (true) {
+    if (verifier.IsOutlierInContext(current, v_row)) {
+      *out = current;
+      return true;
+    }
+    // Among unset bits, find (a) any bit whose addition makes the context
+    // matching — preferred — otherwise (b) the bit that grows the
+    // population most (ties to the smallest bit index, so the walk is
+    // deterministic).
+    size_t best_bit = t;
+    size_t best_count = 0;
+    for (size_t bit = 0; bit < t; ++bit) {
+      if (current.Test(bit)) continue;
+      ContextVec candidate = current;
+      candidate.Set(bit);
+      if (verifier.IsOutlierInContext(candidate, v_row)) {
+        *out = candidate;
+        return true;
+      }
+      const size_t count = verifier.index().PopulationCount(candidate);
+      if (best_bit == t || count > best_count) {
+        best_bit = bit;
+        best_count = count;
+      }
+    }
+    if (best_bit == t) return false;  // all bits set, never matched
+    current.Set(best_bit);
+  }
+}
+
+ContextVec RandomContainingContext(const OutlierVerifier& verifier,
+                                   uint32_t v_row, Rng* rng) {
+  const Schema& schema = verifier.index().schema();
+  const Dataset& dataset = verifier.index().dataset();
+  ContextVec c(schema.total_values());
+  for (size_t bit = 0; bit < c.num_bits(); ++bit) {
+    if (rng->NextBernoulli(0.5)) c.Set(bit);
+  }
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    c.Set(schema.value_offset(a) + dataset.code(v_row, a));
+  }
+  return c;
+}
+
+bool TryRandomValid(const OutlierVerifier& verifier, uint32_t v_row,
+                    size_t attempts, Rng* rng, ContextVec* out) {
+  for (size_t i = 0; i < attempts; ++i) {
+    ContextVec c = RandomContainingContext(verifier, v_row, rng);
+    if (verifier.IsOutlierInContext(c, v_row)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TryBestOfRandom(const OutlierVerifier& verifier, uint32_t v_row,
+                     size_t tries, Rng* rng, ContextVec* out) {
+  bool found = false;
+  size_t best_pop = 0;
+  for (size_t i = 0; i < tries; ++i) {
+    ContextVec c = RandomContainingContext(verifier, v_row, rng);
+    if (!verifier.IsOutlierInContext(c, v_row)) continue;
+    const size_t pop = verifier.index().PopulationCount(c);
+    if (!found || pop > best_pop) {
+      best_pop = pop;
+      *out = c;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+Result<ContextVec> FindStartingContext(const OutlierVerifier& verifier,
+                                       uint32_t v_row,
+                                       const StartingContextOptions& options,
+                                       Rng* rng) {
+  const Dataset& dataset = verifier.index().dataset();
+  if (v_row >= dataset.num_rows()) {
+    return Status::OutOfRange("v_row outside dataset");
+  }
+  ContextVec found;
+  for (StartingContextStrategy strategy : options.pipeline) {
+    switch (strategy) {
+      case StartingContextStrategy::kExactRecord: {
+        ContextVec c = ExactOf(verifier, v_row);
+        if (verifier.IsOutlierInContext(c, v_row)) return c;
+        break;
+      }
+      case StartingContextStrategy::kFullDomain: {
+        ContextVec c = context_ops::FullContext(verifier.index().schema());
+        if (verifier.IsOutlierInContext(c, v_row)) return c;
+        break;
+      }
+      case StartingContextStrategy::kGreedyGrow:
+        if (TryGreedyGrow(verifier, v_row, &found)) return found;
+        break;
+      case StartingContextStrategy::kRandomValid:
+        if (rng != nullptr &&
+            TryRandomValid(verifier, v_row, options.random_attempts, rng,
+                           &found)) {
+          return found;
+        }
+        break;
+      case StartingContextStrategy::kBestOfRandom:
+        if (rng != nullptr &&
+            TryBestOfRandom(verifier, v_row, options.best_of_tries, rng,
+                            &found)) {
+          return found;
+        }
+        break;
+    }
+  }
+  return Status::NoValidContext(
+      "no matching context found for row " + std::to_string(v_row) +
+      " under detector '" + verifier.detector().name() + "'");
+}
+
+}  // namespace pcor

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/context/context.h"
+#include "src/outlier/detector_cache.h"
+
+namespace pcor {
+
+/// \brief Strategies for obtaining the starting context C_V that the
+/// graph-based samplers walk from (the paper assumes the data owner "can
+/// obtain this context through an initial search", footnote 5).
+enum class StartingContextStrategy {
+  /// The narrowest context: exactly V's own attribute values.
+  kExactRecord,
+  /// The widest context: every domain value of every attribute.
+  kFullDomain,
+  /// Start from the exact context and greedily add the value whose
+  /// addition grows the population most, until f_M matches (deterministic).
+  kGreedyGrow,
+  /// Random contexts containing V until one matches (bounded attempts).
+  kRandomValid,
+  /// The best (largest-population) of `best_of_tries` random matching
+  /// contexts containing V — a cheap stand-in for the data owner's
+  /// "initial search": it lands on a mid-utility valid context, which is
+  /// what puts the DP-BFS/DFS Exponential-mechanism draws into their
+  /// directed regime (eps1 * u >> 1) from the first step.
+  kBestOfRandom,
+};
+
+/// \brief Options for FindStartingContext.
+struct StartingContextOptions {
+  /// Strategies tried in order; the first one that yields a matching
+  /// context wins.
+  std::vector<StartingContextStrategy> pipeline = {
+      StartingContextStrategy::kBestOfRandom,
+      StartingContextStrategy::kExactRecord,
+      StartingContextStrategy::kGreedyGrow,
+      StartingContextStrategy::kFullDomain,
+      StartingContextStrategy::kRandomValid,
+  };
+  /// Attempt budget for kRandomValid.
+  size_t random_attempts = 512;
+  /// Attempt budget for kBestOfRandom.
+  size_t best_of_tries = 8;
+};
+
+/// \brief Finds a matching (valid) context for row `v_row`, or
+/// NoValidContext when every strategy fails — in that case V is simply not
+/// a contextual outlier under this detector and PCOR has nothing to
+/// release. `rng` is only consumed by kRandomValid.
+Result<ContextVec> FindStartingContext(const OutlierVerifier& verifier,
+                                       uint32_t v_row,
+                                       const StartingContextOptions& options,
+                                       Rng* rng);
+
+}  // namespace pcor

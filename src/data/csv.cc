@@ -1,0 +1,133 @@
+#include "src/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace pcor {
+namespace csv {
+
+std::string EscapeField(const std::string& field, char sep) {
+  bool needs_quote = field.find(sep) != std::string::npos ||
+                     field.find('"') != std::string::npos ||
+                     field.find('\n') != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> ParseLine(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Status WriteDataset(const Dataset& dataset, const std::string& path,
+                    char sep) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const Schema& schema = dataset.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i) out << sep;
+    out << EscapeField(schema.attribute(i).name, sep);
+  }
+  out << sep << EscapeField(schema.metric_name(), sep) << "\n";
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a) out << sep;
+      out << EscapeField(schema.attribute(a).domain[dataset.code(row, a)],
+                         sep);
+    }
+    out << sep << strings::Format("%.17g", dataset.metric(row)) << "\n";
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadDataset(const Schema& schema, const std::string& path,
+                            char sep) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (no header)");
+  }
+  auto header = ParseLine(line, sep);
+  const size_t expected = schema.num_attributes() + 1;
+  if (header.size() != expected) {
+    return Status::InvalidArgument(strings::Format(
+        "header has %zu columns, schema expects %zu", header.size(),
+        expected));
+  }
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (strings::Trim(header[i]) != schema.attribute(i).name) {
+      return Status::InvalidArgument(
+          "header column '" + header[i] + "' does not match attribute '" +
+          schema.attribute(i).name + "'");
+    }
+  }
+  Dataset dataset(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = ParseLine(line, sep);
+    if (fields.size() != expected) {
+      return Status::InvalidArgument(
+          strings::Format("line %zu has %zu fields, expected %zu", line_no,
+                          fields.size(), expected));
+    }
+    std::vector<uint32_t> codes(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      auto code = schema.ValueCode(a, strings::Trim(fields[a]));
+      if (!code.ok()) {
+        return Status::NotFound(strings::Format(
+            "line %zu: %s", line_no, code.status().message().c_str()));
+      }
+      codes[a] = *code;
+    }
+    char* end = nullptr;
+    const std::string metric_field = strings::Trim(fields.back());
+    double metric = std::strtod(metric_field.c_str(), &end);
+    if (end == metric_field.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          strings::Format("line %zu: metric '%s' is not numeric", line_no,
+                          metric_field.c_str()));
+    }
+    PCOR_RETURN_NOT_OK(dataset.AppendRow(codes, metric));
+  }
+  return dataset;
+}
+
+}  // namespace csv
+}  // namespace pcor

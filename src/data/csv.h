@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/data/dataset.h"
+
+namespace pcor {
+
+/// \brief CSV persistence for datasets.
+///
+/// Format: a header row with the context attribute names followed by the
+/// metric name; then one row per record. Values containing the separator,
+/// quotes or newlines are double-quoted per RFC 4180.
+namespace csv {
+
+/// \brief Writes `dataset` to `path`. Overwrites existing files.
+Status WriteDataset(const Dataset& dataset, const std::string& path,
+                    char sep = ',');
+
+/// \brief Reads a dataset whose columns must match `schema` (same attribute
+/// order; final column is the metric). Values outside an attribute's domain
+/// fail with NotFound — the schema's domains are authoritative (the paper
+/// requires enumerating the *full* domain, so it cannot be inferred from the
+/// file).
+Result<Dataset> ReadDataset(const Schema& schema, const std::string& path,
+                            char sep = ',');
+
+/// \brief Parses one CSV line honoring RFC-4180 quoting.
+std::vector<std::string> ParseLine(const std::string& line, char sep);
+
+/// \brief Quotes a field if it contains sep, quote or newline.
+std::string EscapeField(const std::string& field, char sep);
+
+}  // namespace csv
+}  // namespace pcor

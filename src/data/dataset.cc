@@ -1,0 +1,102 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+Status Dataset::AppendRow(const std::vector<uint32_t>& codes, double metric) {
+  if (codes.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        strings::Format("row has %zu codes, schema has %zu attributes",
+                        codes.size(), schema_.num_attributes()));
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] >= schema_.attribute(i).domain_size()) {
+      return Status::OutOfRange(strings::Format(
+          "code %u out of range for attribute '%s' (domain size %zu)",
+          codes[i], schema_.attribute(i).name.c_str(),
+          schema_.attribute(i).domain_size()));
+    }
+  }
+  for (size_t i = 0; i < codes.size(); ++i) columns_[i].push_back(codes[i]);
+  metric_.push_back(metric);
+  return Status::OK();
+}
+
+Status Dataset::AppendRowByName(const std::vector<std::string>& values,
+                                double metric) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("value count does not match schema");
+  }
+  std::vector<uint32_t> codes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    PCOR_ASSIGN_OR_RETURN(codes[i], schema_.ValueCode(i, values[i]));
+  }
+  return AppendRow(codes, metric);
+}
+
+Row Dataset::GetRow(size_t row) const {
+  Row out;
+  out.codes.resize(num_attributes());
+  for (size_t i = 0; i < num_attributes(); ++i) out.codes[i] = code(row, i);
+  out.metric = metric(row);
+  return out;
+}
+
+Result<Dataset> Dataset::SelectRows(const std::vector<uint32_t>& keep) const {
+  Dataset out(schema_);
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    out.columns_[a].reserve(keep.size());
+  }
+  out.metric_.reserve(keep.size());
+  for (uint32_t row : keep) {
+    if (row >= num_rows()) {
+      return Status::OutOfRange("SelectRows: row id out of range");
+    }
+    for (size_t a = 0; a < columns_.size(); ++a) {
+      out.columns_[a].push_back(columns_[a][row]);
+    }
+    out.metric_.push_back(metric_[row]);
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::RemoveRows(std::vector<uint32_t> remove) const {
+  std::sort(remove.begin(), remove.end());
+  remove.erase(std::unique(remove.begin(), remove.end()), remove.end());
+  if (!remove.empty() && remove.back() >= num_rows()) {
+    return Status::OutOfRange("RemoveRows: row id out of range");
+  }
+  std::vector<uint32_t> keep;
+  keep.reserve(num_rows() - remove.size());
+  size_t r = 0;
+  for (uint32_t row = 0; row < num_rows(); ++row) {
+    if (r < remove.size() && remove[r] == row) {
+      ++r;
+      continue;
+    }
+    keep.push_back(row);
+  }
+  return SelectRows(keep);
+}
+
+std::string Dataset::DescribeRow(size_t row) const {
+  std::string out = "{";
+  for (size_t i = 0; i < num_attributes(); ++i) {
+    if (i) out += ", ";
+    out += schema_.attribute(i).name;
+    out += "=";
+    out += schema_.attribute(i).domain[code(row, i)];
+  }
+  out += strings::Format(", %s=%.4g}", schema_.metric_name().c_str(),
+                         metric(row));
+  return out;
+}
+
+}  // namespace pcor

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/data/schema.h"
+
+namespace pcor {
+
+/// \brief One record: categorical codes (one per context attribute) plus the
+/// numeric metric value.
+struct Row {
+  std::vector<uint32_t> codes;
+  double metric = 0.0;
+};
+
+/// \brief In-memory column store over a Schema.
+///
+/// Categorical attributes are stored as dictionary codes (uint32 per cell);
+/// the metric attribute as doubles. Rows are addressed by dense row id in
+/// [0, num_rows); removing rows produces a *new* Dataset (datasets are
+/// value-like, matching the add/remove-a-record neighboring semantics of
+/// differential privacy).
+class Dataset {
+ public:
+  /// \brief Empty dataset over an empty schema (useful as a placeholder
+  /// before assignment; appending rows requires a real schema).
+  Dataset() : Dataset(Schema()) {}
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return metric_.size(); }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// \brief Appends a record; validates code ranges.
+  Status AppendRow(const std::vector<uint32_t>& codes, double metric);
+  Status AppendRow(const Row& row) { return AppendRow(row.codes, row.metric); }
+
+  /// \brief Appends a record given value strings (slow path, for tests).
+  Status AppendRowByName(const std::vector<std::string>& values,
+                         double metric);
+
+  /// \brief Code of context attribute `attr` at row `row`.
+  uint32_t code(size_t row, size_t attr) const {
+    return columns_[attr][row];
+  }
+
+  double metric(size_t row) const { return metric_[row]; }
+  const std::vector<double>& metric_column() const { return metric_; }
+  const std::vector<uint32_t>& attribute_column(size_t attr) const {
+    return columns_[attr];
+  }
+
+  /// \brief Materializes row `row`.
+  Row GetRow(size_t row) const;
+
+  /// \brief New dataset containing only rows whose ids appear in `keep`
+  /// (ascending, de-duplicated by the caller).
+  Result<Dataset> SelectRows(const std::vector<uint32_t>& keep) const;
+
+  /// \brief New dataset with the given row ids removed.
+  Result<Dataset> RemoveRows(std::vector<uint32_t> remove) const;
+
+  /// \brief Human-readable record rendering, e.g. for release reports.
+  std::string DescribeRow(size_t row) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<uint32_t>> columns_;  // one per context attribute
+  std::vector<double> metric_;
+};
+
+}  // namespace pcor

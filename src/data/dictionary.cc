@@ -1,0 +1,37 @@
+#include "src/data/dictionary.h"
+
+namespace pcor {
+
+ValueDictionary::ValueDictionary(const Attribute& attribute)
+    : values_(attribute.domain) {
+  index_.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    index_.emplace(values_[i], static_cast<uint32_t>(i));
+  }
+}
+
+Result<uint32_t> ValueDictionary::Encode(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("value '" + value + "' not in dictionary");
+  }
+  return it->second;
+}
+
+Result<std::string> ValueDictionary::Decode(uint32_t code) const {
+  if (code >= values_.size()) {
+    return Status::OutOfRange("code " + std::to_string(code) +
+                              " outside dictionary of size " +
+                              std::to_string(values_.size()));
+  }
+  return values_[code];
+}
+
+SchemaDictionaries::SchemaDictionaries(const Schema& schema) {
+  dicts_.reserve(schema.num_attributes());
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    dicts_.emplace_back(schema.attribute(i));
+  }
+}
+
+}  // namespace pcor

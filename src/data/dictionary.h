@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/data/schema.h"
+
+namespace pcor {
+
+/// \brief O(1) string-to-code lookup for one attribute's domain.
+///
+/// Schema::ValueCode is a linear scan (fine for ad-hoc use); the dictionary
+/// is built once per attribute for bulk ingest paths such as the CSV reader
+/// and the synthetic generators.
+class ValueDictionary {
+ public:
+  explicit ValueDictionary(const Attribute& attribute);
+
+  /// \brief Code of `value`, or NotFound when outside the domain.
+  Result<uint32_t> Encode(const std::string& value) const;
+
+  /// \brief Value string for `code`, or OutOfRange.
+  Result<std::string> Decode(uint32_t code) const;
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> values_;
+};
+
+/// \brief Dictionaries for every attribute of a schema, built in one pass.
+class SchemaDictionaries {
+ public:
+  explicit SchemaDictionaries(const Schema& schema);
+
+  const ValueDictionary& attribute(size_t i) const { return dicts_[i]; }
+  size_t num_attributes() const { return dicts_.size(); }
+
+ private:
+  std::vector<ValueDictionary> dicts_;
+};
+
+}  // namespace pcor

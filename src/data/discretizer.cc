@@ -1,0 +1,83 @@
+#include "src/data/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+namespace {
+
+std::vector<std::string> MakeLabels(const std::vector<double>& edges) {
+  std::vector<std::string> labels;
+  labels.reserve(edges.size() - 1);
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    labels.push_back(strings::Format("[%.6g, %.6g)", edges[i], edges[i + 1]));
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<Discretizer> Discretizer::EqualWidth(double lo, double hi,
+                                            size_t buckets) {
+  if (buckets == 0) {
+    return Status::InvalidArgument("discretizer needs at least one bucket");
+  }
+  if (!(hi > lo)) {
+    return Status::InvalidArgument("discretizer range must be non-empty");
+  }
+  std::vector<double> edges(buckets + 1);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (size_t i = 0; i <= buckets; ++i) {
+    edges[i] = lo + width * static_cast<double>(i);
+  }
+  edges.back() = hi;  // avoid rounding drift on the last edge
+  auto labels = MakeLabels(edges);
+  return Discretizer(std::move(edges), std::move(labels));
+}
+
+Result<Discretizer> Discretizer::Quantile(const std::vector<double>& values,
+                                          size_t buckets) {
+  if (buckets == 0) {
+    return Status::InvalidArgument("discretizer needs at least one bucket");
+  }
+  if (values.size() < 2) {
+    return Status::InvalidArgument("quantile discretizer needs >= 2 values");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> edges;
+  edges.push_back(sorted.front());
+  for (size_t i = 1; i < buckets; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(buckets);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    double cut = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    if (cut > edges.back()) edges.push_back(cut);
+  }
+  if (sorted.back() > edges.back()) {
+    edges.push_back(sorted.back());
+  } else {
+    edges.back() = std::nextafter(edges.back(), 1e308);
+  }
+  if (edges.size() < 2) {
+    return Status::InvalidArgument(
+        "all values identical; cannot build quantile buckets");
+  }
+  auto labels = MakeLabels(edges);
+  return Discretizer(std::move(edges), std::move(labels));
+}
+
+uint32_t Discretizer::Bucket(double x) const {
+  // upper_bound over inner edges; clamp to [0, buckets-1].
+  auto it = std::upper_bound(edges_.begin() + 1, edges_.end() - 1, x);
+  size_t idx = static_cast<size_t>(it - (edges_.begin() + 1));
+  if (idx >= labels_.size()) idx = labels_.size() - 1;
+  return static_cast<uint32_t>(idx);
+}
+
+}  // namespace pcor

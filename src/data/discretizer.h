@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace pcor {
+
+/// \brief Bucketizes a numeric column into labeled categorical ranges so it
+/// can serve as a context attribute (contexts are defined over discrete
+/// domains). The homicide dataset's VictimAge is the paper's example of a
+/// numeric attribute used in contexts.
+class Discretizer {
+ public:
+  /// \brief Equal-width buckets spanning [lo, hi].
+  static Result<Discretizer> EqualWidth(double lo, double hi, size_t buckets);
+
+  /// \brief Quantile buckets fit to `values` (approximately equal mass).
+  /// Duplicate cut points collapse, so the result may have fewer buckets.
+  static Result<Discretizer> Quantile(const std::vector<double>& values,
+                                      size_t buckets);
+
+  /// \brief Bucket index for x; values below/above the range clamp to the
+  /// first/last bucket.
+  uint32_t Bucket(double x) const;
+
+  size_t num_buckets() const { return labels_.size(); }
+
+  /// \brief Human-readable labels, e.g. "[18.0, 35.0)", forming the domain
+  /// of the derived categorical attribute.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// \brief Lower edge of bucket i (and upper edge of bucket i-1).
+  double edge(size_t i) const { return edges_[i]; }
+
+ private:
+  Discretizer(std::vector<double> edges, std::vector<std::string> labels)
+      : edges_(std::move(edges)), labels_(std::move(labels)) {}
+
+  std::vector<double> edges_;  // size = buckets + 1, ascending
+  std::vector<std::string> labels_;
+};
+
+}  // namespace pcor

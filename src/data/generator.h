@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/data/dataset.h"
+
+namespace pcor {
+
+/// \brief A generated dataset plus the rows planted as contextual outliers.
+///
+/// Planted rows have a metric value that is extreme relative to their own
+/// attribute group but unremarkable in the global distribution — the
+/// "hidden outlier" shape the paper's introduction motivates. They are the
+/// natural query records for PCOR experiments.
+struct GeneratedData {
+  Dataset dataset;
+  std::vector<uint32_t> planted_outlier_rows;
+};
+
+/// \brief Metric models supported by the mixture generator.
+enum class MetricModel {
+  kLogNormal,        ///< exp(mu + effects + sigma*N); salary-like
+  kTruncatedNormal,  ///< clamp(mu + effects + sigma*N, lo, hi); age-like
+};
+
+/// \brief Configuration of the categorical mixture generator.
+///
+/// Every categorical cell is drawn from a Zipf-skewed distribution over the
+/// attribute's domain; the metric is a group-dependent mixture where each
+/// (attribute, value) pair contributes an additive effect. This reproduces
+/// the statistical shape the paper's experiments depend on: populations of
+/// widely varying size across contexts, and group-conditional metric
+/// distributions in which contextual outliers can hide.
+struct MixtureGeneratorConfig {
+  Schema schema;
+  size_t num_rows = 1000;
+  uint64_t seed = 42;
+
+  MetricModel metric_model = MetricModel::kLogNormal;
+  double base_mean = 11.7;        ///< log-space for kLogNormal (~120k)
+  double value_effect_scale = 0.25;  ///< stddev of per-value additive effects
+  double noise_sigma = 0.18;      ///< within-group metric noise
+  double zipf_s = 0.7;            ///< popularity skew of domain values
+  double metric_lo = 100000.0;    ///< lower clamp (output space)
+  double metric_hi = 1e9;         ///< upper clamp (output space)
+
+  size_t num_planted = 20;   ///< contextual outliers to plant
+  double planted_z = 4.5;    ///< group z-score of planted metric values
+};
+
+/// \brief Generates a dataset per `config`. Deterministic in config.seed.
+Result<GeneratedData> GenerateMixtureData(const MixtureGeneratorConfig& config);
+
+namespace internal {
+
+/// \brief Zipf-like sampling weights for `n` values with exponent s,
+/// shuffled by `rng` so value index does not correlate with popularity.
+std::vector<double> ZipfWeights(size_t n, double s, Rng* rng);
+
+}  // namespace internal
+}  // namespace pcor

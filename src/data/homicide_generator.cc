@@ -1,0 +1,84 @@
+#include "src/data/homicide_generator.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+namespace {
+
+const char* kAgencies[] = {"Municipal Police", "County Police",
+                           "State Police", "Sheriff", "Special Police",
+                           "Tribal Police"};
+const char* kStates[] = {"California", "Texas",    "New York", "Florida",
+                         "Michigan",   "Ohio",     "Illinois", "Georgia"};
+const char* kWeapons[] = {"Handgun",       "Knife",  "Blunt Object",
+                          "Shotgun",       "Rifle",  "Strangulation",
+                          "Fire",          "Poison"};
+
+std::vector<std::string> TakeLabels(const char* const* pool, size_t pool_size,
+                                    size_t n, const char* kind) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < pool_size) {
+      out.emplace_back(pool[i]);
+    } else {
+      out.push_back(strings::Format("%s%zu", kind, i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Schema HomicideSchema(const HomicideDatasetSpec& spec) {
+  Schema schema;
+  schema
+      .AddAttribute("AgencyType", TakeLabels(kAgencies, std::size(kAgencies),
+                                             spec.num_agencies, "Agency"))
+      .CheckOK();
+  schema
+      .AddAttribute("State", TakeLabels(kStates, std::size(kStates),
+                                        spec.num_states, "State"))
+      .CheckOK();
+  schema
+      .AddAttribute("Weapon", TakeLabels(kWeapons, std::size(kWeapons),
+                                         spec.num_weapons, "Weapon"))
+      .CheckOK();
+  schema.SetMetricName("VictimAge");
+  return schema;
+}
+
+Result<GeneratedData> GenerateHomicideDataset(
+    const HomicideDatasetSpec& spec) {
+  MixtureGeneratorConfig config;
+  config.schema = HomicideSchema(spec);
+  config.num_rows = spec.num_rows;
+  config.seed = spec.seed;
+  config.metric_model = MetricModel::kTruncatedNormal;
+  config.base_mean = 31.0;       // victim age mixture center
+  config.value_effect_scale = 4.5;
+  config.noise_sigma = 9.0;
+  config.zipf_s = 0.8;
+  config.metric_lo = 0.0;
+  config.metric_hi = 99.0;
+  config.num_planted = spec.num_planted;
+  config.planted_z = 4.0;
+  return GenerateMixtureData(config);
+}
+
+HomicideDatasetSpec ReducedHomicideSpec() {
+  HomicideDatasetSpec spec;
+  spec.num_rows = 28000;
+  spec.num_agencies = 4;
+  spec.num_states = 4;
+  spec.num_weapons = 4;  // 4 + 4 + 4 = 12 attribute values (Section 6.7)
+  spec.num_planted = 200;
+  spec.seed = 1976;
+  return spec;
+}
+
+HomicideDatasetSpec FullHomicideSpec() { return HomicideDatasetSpec{}; }
+
+}  // namespace pcor

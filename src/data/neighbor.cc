@@ -1,0 +1,82 @@
+#include "src/data/neighbor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace pcor {
+
+Result<NeighborDataset> MakeNeighbor(const Dataset& dataset,
+                                     const NeighborOptions& options,
+                                     Rng* rng) {
+  const size_t n = dataset.num_rows();
+  if (options.delta == 0) {
+    return Status::InvalidArgument("neighbor delta must be >= 1");
+  }
+  std::unordered_set<uint32_t> protected_set(options.protected_rows.begin(),
+                                             options.protected_rows.end());
+  if (n <= protected_set.size() ||
+      options.delta > n - protected_set.size()) {
+    return Status::InvalidArgument(
+        "not enough unprotected rows for the requested delta");
+  }
+
+  // Choose delta distinct unprotected victim rows.
+  std::vector<uint32_t> victims;
+  victims.reserve(options.delta);
+  std::unordered_set<uint32_t> chosen;
+  while (victims.size() < options.delta) {
+    uint32_t row = static_cast<uint32_t>(rng->NextBounded(n));
+    if (protected_set.count(row) || chosen.count(row)) continue;
+    chosen.insert(row);
+    victims.push_back(row);
+  }
+  std::sort(victims.begin(), victims.end());
+
+  NeighborDataset out{Dataset(dataset.schema()), {}, victims};
+  out.row_mapping.assign(n, UINT32_MAX);
+
+  if (options.mode == NeighborMode::kRemove) {
+    PCOR_ASSIGN_OR_RETURN(out.dataset, dataset.RemoveRows(victims));
+    uint32_t next_id = 0;
+    size_t v = 0;
+    for (uint32_t row = 0; row < n; ++row) {
+      if (v < victims.size() && victims[v] == row) {
+        ++v;
+        continue;
+      }
+      out.row_mapping[row] = next_id++;
+    }
+    return out;
+  }
+
+  // kReplace: keep all rows, resample the metric of the victims from the
+  // empirical metric distribution of the other rows (a record swap).
+  std::vector<double> pool;
+  pool.reserve(n - victims.size());
+  {
+    size_t v = 0;
+    for (uint32_t row = 0; row < n; ++row) {
+      if (v < victims.size() && victims[v] == row) {
+        ++v;
+        continue;
+      }
+      pool.push_back(dataset.metric(row));
+    }
+  }
+  PCOR_CHECK(!pool.empty()) << "replacement pool empty";
+  size_t v = 0;
+  for (uint32_t row = 0; row < n; ++row) {
+    Row r = dataset.GetRow(row);
+    if (v < victims.size() && victims[v] == row) {
+      r.metric = pool[rng->NextBounded(pool.size())];
+      ++v;
+    }
+    PCOR_RETURN_NOT_OK(out.dataset.AppendRow(r));
+    out.row_mapping[row] = row;
+  }
+  return out;
+}
+
+}  // namespace pcor

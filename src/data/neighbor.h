@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/data/dataset.h"
+
+namespace pcor {
+
+/// \brief How a neighboring dataset differs from the original.
+enum class NeighborMode {
+  kRemove,   ///< delete k random records (the paper's add/remove semantics)
+  kReplace,  ///< resample the metric of k random records
+};
+
+/// \brief Options for neighboring-dataset generation (Section 6.7 uses
+/// neighbors at record distance 1, 5, 10 and 25).
+struct NeighborOptions {
+  NeighborMode mode = NeighborMode::kRemove;
+  size_t delta = 1;  ///< number of records changed
+  /// Rows that must survive in the neighbor (e.g. the queried outlier V —
+  /// OCDP compares COE(D1, V) and COE(D2, V), which requires V in both).
+  std::vector<uint32_t> protected_rows;
+};
+
+/// \brief A neighboring dataset plus the mapping old-row-id -> new-row-id
+/// (UINT32_MAX for rows removed by the perturbation).
+struct NeighborDataset {
+  Dataset dataset;
+  std::vector<uint32_t> row_mapping;
+  std::vector<uint32_t> changed_rows;  ///< original ids that were touched
+};
+
+/// \brief Generates a neighbor of `dataset` at record distance
+/// `options.delta`. Deterministic given the Rng state.
+Result<NeighborDataset> MakeNeighbor(const Dataset& dataset,
+                                     const NeighborOptions& options,
+                                     Rng* rng);
+
+}  // namespace pcor

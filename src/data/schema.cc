@@ -1,0 +1,87 @@
+#include "src/data/schema.h"
+
+#include <unordered_set>
+
+namespace pcor {
+
+Status Schema::AddAttribute(std::string name,
+                            std::vector<std::string> domain) {
+  if (domain.empty()) {
+    return Status::InvalidArgument("attribute '" + name +
+                                   "' must have a non-empty domain");
+  }
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) {
+      return Status::AlreadyExists("attribute '" + name + "' already defined");
+    }
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& v : domain) {
+    if (!seen.insert(v).second) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' has duplicate domain value '" + v +
+                                     "'");
+    }
+  }
+  offsets_.push_back(total_values());
+  attributes_.push_back(Attribute{std::move(name), std::move(domain)});
+  return Status::OK();
+}
+
+Result<size_t> Schema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+size_t Schema::total_values() const {
+  size_t total = 0;
+  for (const auto& attr : attributes_) total += attr.domain_size();
+  return total;
+}
+
+size_t Schema::value_offset(size_t attribute_index) const {
+  return offsets_[attribute_index];
+}
+
+Status Schema::BitToAttributeValue(size_t bit, size_t* attribute_index,
+                                   size_t* value_index) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const size_t off = offsets_[i];
+    if (bit >= off && bit < off + attributes_[i].domain_size()) {
+      *attribute_index = i;
+      *value_index = bit - off;
+      return Status::OK();
+    }
+  }
+  return Status::OutOfRange("bit " + std::to_string(bit) +
+                            " outside context vector of length " +
+                            std::to_string(total_values()));
+}
+
+Result<uint32_t> Schema::ValueCode(size_t attribute_index,
+                                   const std::string& value) const {
+  if (attribute_index >= attributes_.size()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  const auto& domain = attributes_[attribute_index].domain;
+  for (size_t j = 0; j < domain.size(); ++j) {
+    if (domain[j] == value) return static_cast<uint32_t>(j);
+  }
+  return Status::NotFound("value '" + value + "' not in domain of '" +
+                          attributes_[attribute_index].name + "'");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].domain != other.attributes_[i].domain) {
+      return false;
+    }
+  }
+  return metric_name_ == other.metric_name_;
+}
+
+}  // namespace pcor

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace pcor {
+
+/// \brief One categorical context attribute: a name plus its full domain.
+///
+/// Per the paper (Section 3/4), the domain must list *all* possible values of
+/// the attribute — including values that never occur in the dataset
+/// instance — because contexts enumerate over the domain, not the data.
+/// Releasing domain values that may be absent from the data is exactly what
+/// blunts the "who is in the context" inference.
+struct Attribute {
+  std::string name;
+  std::vector<std::string> domain;
+
+  size_t domain_size() const { return domain.size(); }
+};
+
+/// \brief Relational schema: m categorical context attributes plus one
+/// numeric metric attribute M (the attribute outliers are defined over).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \brief Appends a context attribute. Fails on duplicate attribute names,
+  /// duplicate domain values, or an empty domain.
+  Status AddAttribute(std::string name, std::vector<std::string> domain);
+
+  /// \brief Names the metric attribute (default "metric").
+  void SetMetricName(std::string name) { metric_name_ = std::move(name); }
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const std::string& metric_name() const { return metric_name_; }
+
+  /// \brief Index of the attribute with the given name.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  /// \brief Total number of attribute values t = sum_i |A_i| — the context
+  /// bit-vector length.
+  size_t total_values() const;
+
+  /// \brief First bit position of attribute i inside a context vector.
+  size_t value_offset(size_t attribute_index) const;
+
+  /// \brief Maps a global bit position to (attribute, value) indices.
+  Status BitToAttributeValue(size_t bit, size_t* attribute_index,
+                             size_t* value_index) const;
+
+  /// \brief Code (value index) of `value` inside attribute i.
+  Result<uint32_t> ValueCode(size_t attribute_index,
+                             const std::string& value) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::vector<size_t> offsets_;  // prefix sums of domain sizes
+  std::string metric_name_ = "metric";
+};
+
+}  // namespace pcor

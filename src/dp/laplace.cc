@@ -1,0 +1,23 @@
+#include "src/dp/laplace.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pcor {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon), sensitivity_(sensitivity) {
+  PCOR_CHECK(epsilon > 0) << "epsilon must be positive";
+  PCOR_CHECK(sensitivity > 0) << "sensitivity must be positive";
+}
+
+double LaplaceMechanism::AddNoise(double value, Rng* rng) const {
+  return value + rng->NextLaplace(sensitivity_ / epsilon_);
+}
+
+double LaplaceMechanism::NoisyCount(size_t count, Rng* rng) const {
+  return std::max(0.0, AddNoise(static_cast<double>(count), rng));
+}
+
+}  // namespace pcor

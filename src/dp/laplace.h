@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+
+namespace pcor {
+
+/// \brief The Laplace mechanism for numeric queries: value + Lap(sens/eps).
+///
+/// Not used by the core PCOR release path (contexts are categorical, so the
+/// Exponential mechanism applies), but part of any DP toolbox: the examples
+/// use it to publish noisy population counts *alongside* a released
+/// context, and the budget accountant composes both releases.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(double epsilon, double sensitivity);
+
+  /// \brief One noisy answer.
+  double AddNoise(double value, Rng* rng) const;
+
+  /// \brief Noisy count clamped to be non-negative (post-processing, free).
+  double NoisyCount(size_t count, Rng* rng) const;
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace pcor

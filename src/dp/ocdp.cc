@@ -1,0 +1,60 @@
+#include "src/dp/ocdp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dp/mechanism.h"
+#include "src/dp/utility.h"
+
+namespace pcor {
+
+Result<EmpiricalPrivacyResult> MeasureEmpiricalPrivacy(
+    const OutlierVerifier& verifier1, const OutlierVerifier& verifier2,
+    uint32_t row1, uint32_t row2, double eps1,
+    const CoeOptions& coe_options) {
+  PCOR_ASSIGN_OR_RETURN(std::vector<ContextVec> coe1,
+                        EnumerateCoe(verifier1, row1, coe_options));
+  PCOR_ASSIGN_OR_RETURN(std::vector<ContextVec> coe2,
+                        EnumerateCoe(verifier2, row2, coe_options));
+
+  EmpiricalPrivacyResult out;
+  out.match = CompareCoe(coe1, coe2);
+  out.coe_equal = out.match.only_left == 0 && out.match.only_right == 0;
+
+  // Selection probabilities of the direct release (Algorithm 1) with
+  // population-size utility on each dataset.
+  PopulationSizeUtility u1(verifier1);
+  PopulationSizeUtility u2(verifier2);
+  std::vector<double> s1(coe1.size()), s2(coe2.size());
+  for (size_t i = 0; i < coe1.size(); ++i) s1[i] = u1.Score(coe1[i], row1);
+  for (size_t i = 0; i < coe2.size(); ++i) s2[i] = u2.Score(coe2[i], row2);
+
+  ExponentialMechanism mech(eps1, /*sensitivity=*/1.0);
+  const std::vector<double> p1 = mech.Probabilities(s1);
+  const std::vector<double> p2 = mech.Probabilities(s2);
+  out.epsilon_bound = mech.EpsilonPerDraw();
+
+  // Walk the sorted COE lists in lockstep; compare probabilities on the
+  // intersection.
+  size_t i = 0, j = 0;
+  double max_ratio = 1.0;
+  while (i < coe1.size() && j < coe2.size()) {
+    if (coe1[i] == coe2[j]) {
+      if (p1[i] > 0 && p2[j] > 0) {
+        max_ratio = std::max({max_ratio, p1[i] / p2[j], p2[j] / p1[i]});
+        ++out.shared_contexts;
+      }
+      ++i;
+      ++j;
+    } else if (coe1[i] < coe2[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  out.max_ratio = max_ratio;
+  out.within_bound = max_ratio <= std::exp(out.epsilon_bound) * (1 + 1e-9);
+  return out;
+}
+
+}  // namespace pcor

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "src/common/result.h"
+#include "src/context/coe.h"
+#include "src/outlier/detector_cache.h"
+
+namespace pcor {
+
+/// \brief Output-Constrained Differential Privacy (Definition 2.5) tooling.
+///
+/// OCDP conditions the DP guarantee on f-neighboring datasets — pairs
+/// (D1, D2) differing in one record with COE(D1, V) = COE(D2, V). The
+/// functions here measure, per Section 6.7: (i) how often that equality
+/// holds in practice (Tables 12/13), and (ii) when it does not, whether the
+/// empirical selection-probability ratio over the shared contexts still
+/// respects the e^epsilon bound of unconstrained DP.
+struct EmpiricalPrivacyResult {
+  CoeMatch match;          ///< COE(D1,V) vs COE(D2,V)
+  bool coe_equal = false;  ///< the OCDP f-neighbor condition
+  /// Max over shared contexts of max(P1/P2, P2/P1) for the direct
+  /// Exponential-mechanism release with population-size utility.
+  double max_ratio = 1.0;
+  double epsilon_bound = 0.0;  ///< 2 * eps1 * sensitivity
+  bool within_bound = true;    ///< max_ratio <= exp(epsilon_bound)
+  size_t shared_contexts = 0;
+};
+
+/// \brief Measures the empirical privacy ratio between a dataset and one of
+/// its neighbors for outlier rows `row1` (in D1) / `row2` (in D2) — they
+/// must denote the same individual. `eps1` is the Exponential-mechanism
+/// parameter; sensitivity is taken from population-size utility (1).
+Result<EmpiricalPrivacyResult> MeasureEmpiricalPrivacy(
+    const OutlierVerifier& verifier1, const OutlierVerifier& verifier2,
+    uint32_t row1, uint32_t row2, double eps1,
+    const CoeOptions& coe_options = {});
+
+}  // namespace pcor

@@ -1,0 +1,54 @@
+#include "src/dp/utility.h"
+
+#include <limits>
+
+namespace pcor {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+PopulationSizeUtility::PopulationSizeUtility(const OutlierVerifier& verifier)
+    : verifier_(&verifier) {}
+
+double PopulationSizeUtility::Score(const ContextVec& c,
+                                    uint32_t v_row) const {
+  if (!verifier_->IsOutlierInContext(c, v_row)) return kNegInf;
+  return static_cast<double>(verifier_->index().PopulationCount(c));
+}
+
+OverlapUtility::OverlapUtility(const OutlierVerifier& verifier,
+                               const ContextVec& starting_context)
+    : verifier_(&verifier),
+      starting_context_(starting_context),
+      starting_population_(verifier.index().PopulationOf(starting_context)) {}
+
+double OverlapUtility::Score(const ContextVec& c, uint32_t v_row) const {
+  if (!verifier_->IsOutlierInContext(c, v_row)) return kNegInf;
+  BitVector pop = verifier_->index().PopulationOf(c);
+  return static_cast<double>(pop.AndCount(starting_population_));
+}
+
+std::unique_ptr<UtilityFunction> MakeUtility(
+    UtilityKind kind, const OutlierVerifier& verifier,
+    const ContextVec& starting_context) {
+  switch (kind) {
+    case UtilityKind::kPopulationSize:
+      return std::make_unique<PopulationSizeUtility>(verifier);
+    case UtilityKind::kOverlapWithStart:
+      return std::make_unique<OverlapUtility>(verifier, starting_context);
+  }
+  return nullptr;
+}
+
+std::string UtilityKindName(UtilityKind kind) {
+  switch (kind) {
+    case UtilityKind::kPopulationSize:
+      return "population_size";
+    case UtilityKind::kOverlapWithStart:
+      return "overlap";
+  }
+  return "unknown";
+}
+
+}  // namespace pcor

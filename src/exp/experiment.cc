@@ -1,0 +1,103 @@
+#include "src/exp/experiment.h"
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+#include "src/common/threading.h"
+#include "src/common/timer.h"
+#include "src/context/starting_context.h"
+
+namespace pcor {
+
+Result<ExperimentResult> RunPcorExperiment(
+    const PcorEngine& engine, const std::vector<uint32_t>& outlier_rows,
+    const ReferenceTable& reference, const TrialConfig& config) {
+  if (outlier_rows.empty()) {
+    return Status::InvalidArgument("experiment needs at least one outlier");
+  }
+  if (config.trials == 0) {
+    return Status::InvalidArgument("experiment needs at least one trial");
+  }
+
+  // Fix, per row: the starting context C_V, the utility function, and the
+  // reference maximum utility.
+  struct RowSetup {
+    uint32_t row = 0;
+    std::unique_ptr<UtilityFunction> utility;
+    double max_utility = 0.0;
+    bool usable = false;
+  };
+  std::vector<RowSetup> setups;
+  setups.reserve(outlier_rows.size());
+  Rng setup_rng(config.seed ^ 0x5bf03635ULL);
+  for (uint32_t row : outlier_rows) {
+    RowSetup setup;
+    setup.row = row;
+    StartingContextOptions start_options;
+    Rng row_rng = setup_rng.Fork();
+    auto start =
+        FindStartingContext(engine.verifier(), row, start_options, &row_rng);
+    if (!start.ok()) {
+      setups.push_back(std::move(setup));  // unusable
+      continue;
+    }
+    setup.utility = MakeUtility(config.utility, engine.verifier(), *start);
+    setup.max_utility = reference.MaxUtility(row, *setup.utility);
+    setup.usable = setup.max_utility >
+                   -std::numeric_limits<double>::infinity();
+    setups.push_back(std::move(setup));
+  }
+  // Keep only usable rows.
+  std::vector<const RowSetup*> pool;
+  for (const auto& s : setups) {
+    if (s.usable && s.max_utility > 0) pool.push_back(&s);
+  }
+  if (pool.empty()) {
+    return Status::NoValidContext(
+        "no query outlier has a usable reference entry");
+  }
+
+  PcorOptions options;
+  options.sampler = config.sampler;
+  options.num_samples = config.num_samples;
+  options.total_epsilon = config.total_epsilon;
+  options.utility = config.utility;
+  options.max_probes = config.max_probes;
+
+  ExperimentResult result;
+  result.utility_ratios.assign(config.trials, 0.0);
+  result.runtimes.assign(config.trials, 0.0);
+  std::vector<char> trial_ok(config.trials, 0);
+  std::atomic<size_t> failures{0};
+
+  ParallelFor(config.trials, std::max<size_t>(config.threads, 1),
+              [&](size_t trial) {
+                const RowSetup& setup = *pool[trial % pool.size()];
+                Rng rng(config.seed + 0x9e3779b9ULL * (trial + 1));
+                WallTimer timer;
+                auto release = engine.ReleaseWithUtility(
+                    setup.row, options, *setup.utility, &rng);
+                const double seconds = timer.ElapsedSeconds();
+                if (!release.ok()) {
+                  failures.fetch_add(1, std::memory_order_relaxed);
+                  return;
+                }
+                result.utility_ratios[trial] =
+                    release->utility_score / setup.max_utility;
+                result.runtimes[trial] = seconds;
+                trial_ok[trial] = 1;
+              });
+
+  // Compact out failed trials.
+  ExperimentResult compact;
+  compact.failures = failures.load();
+  for (size_t i = 0; i < config.trials; ++i) {
+    if (!trial_ok[i]) continue;
+    compact.utility_ratios.push_back(result.utility_ratios[i]);
+    compact.runtimes.push_back(result.runtimes[i]);
+  }
+  return compact;
+}
+
+}  // namespace pcor

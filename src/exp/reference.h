@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/context/coe.h"
+#include "src/dp/utility.h"
+#include "src/outlier/detector_cache.h"
+
+namespace pcor {
+
+/// \brief The paper's "reference file" (Section 6.2): for each query
+/// outlier, the full set of matching contexts. Utility normalization
+/// divides a PCOR release's utility by the maximum utility over this set —
+/// that maximum is exactly what the direct approach would (expensively)
+/// compute.
+class ReferenceTable {
+ public:
+  /// \brief Enumerates COE for every row in `rows` (parallelized across
+  /// `threads`; the verifier's memo cache is shared).
+  static Result<ReferenceTable> Build(const OutlierVerifier& verifier,
+                                      const std::vector<uint32_t>& rows,
+                                      const CoeOptions& options = {},
+                                      size_t threads = 1);
+
+  /// \brief Matching contexts of `row`, or nullptr if the row was not part
+  /// of the build.
+  const std::vector<ContextVec>* Coe(uint32_t row) const;
+
+  /// \brief max_{C in COE(row)} utility(C); -infinity when COE is empty.
+  double MaxUtility(uint32_t row, const UtilityFunction& utility) const;
+
+  /// \brief Rows with a non-empty COE.
+  std::vector<uint32_t> RowsWithMatches() const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// \brief Persists as CSV lines "row,bitstring" (one context per line).
+  Status SaveCsv(const std::string& path) const;
+
+  /// \brief Loads a table previously written by SaveCsv; `t` is the context
+  /// bit length of the schema it was built against.
+  static Result<ReferenceTable> LoadCsv(const std::string& path, size_t t);
+
+ private:
+  std::unordered_map<uint32_t, std::vector<ContextVec>> entries_;
+};
+
+}  // namespace pcor

@@ -1,0 +1,75 @@
+#include "src/exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+TableRenderer::TableRenderer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableRenderer::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableRenderer::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+namespace report {
+
+void SectionHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void Note(const std::string& text) {
+  std::printf("   %s\n", text.c_str());
+}
+
+std::string FormatUtilityCi(const ConfidenceInterval& ci) {
+  return strings::Format("%.2f (%.2f, %.2f)", ci.mean, ci.lower, ci.upper);
+}
+
+std::string FormatRuntime(double seconds) {
+  return strings::HumanDuration(seconds);
+}
+
+void PrintHistogram(const std::string& title,
+                    const std::vector<double>& samples, double lo, double hi,
+                    size_t bins) {
+  std::printf("-- %s (%zu samples) --\n", title.c_str(), samples.size());
+  if (samples.empty()) return;
+  HistogramBuilder hist(lo, hi, bins);
+  hist.AddAll(samples);
+  std::printf("%s", hist.ToAscii().c_str());
+}
+
+}  // namespace report
+}  // namespace pcor

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace pcor {
+
+/// \brief Fixed-width ASCII table renderer used by the benchmark binaries
+/// to print the paper's tables next to our measured values.
+class TableRenderer {
+ public:
+  explicit TableRenderer(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace report {
+
+/// \brief "== title ==" banner.
+void SectionHeader(const std::string& title);
+
+/// \brief Indented note, e.g. the paper's reported numbers for comparison.
+void Note(const std::string& text);
+
+/// \brief "0.90 (0.88, 0.93)" — the paper's utility-with-CI format.
+std::string FormatUtilityCi(const ConfidenceInterval& ci);
+
+/// \brief "Tmin/Tmax/Tavg" runtime cells in human units.
+std::string FormatRuntime(double seconds);
+
+/// \brief Histogram series rendering for the paper's figure panels.
+void PrintHistogram(const std::string& title,
+                    const std::vector<double>& samples, double lo, double hi,
+                    size_t bins);
+
+}  // namespace report
+}  // namespace pcor

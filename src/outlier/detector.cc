@@ -1,0 +1,43 @@
+#include "src/outlier/detector.h"
+
+#include <algorithm>
+
+#include "src/outlier/grubbs.h"
+#include "src/outlier/histogram_detector.h"
+#include "src/outlier/iqr.h"
+#include "src/outlier/lof.h"
+#include "src/outlier/zscore.h"
+
+namespace pcor {
+
+bool OutlierDetector::IsOutlier(const std::vector<double>& values,
+                                size_t target) const {
+  const auto flagged = Detect(values);
+  return std::binary_search(flagged.begin(), flagged.end(), target);
+}
+
+Result<std::unique_ptr<OutlierDetector>> MakeDetector(
+    const std::string& name) {
+  if (name == "grubbs") {
+    return std::unique_ptr<OutlierDetector>(new GrubbsDetector());
+  }
+  if (name == "histogram") {
+    return std::unique_ptr<OutlierDetector>(new HistogramDetector());
+  }
+  if (name == "lof") {
+    return std::unique_ptr<OutlierDetector>(new LofDetector());
+  }
+  if (name == "iqr") {
+    return std::unique_ptr<OutlierDetector>(new IqrDetector());
+  }
+  if (name == "zscore") {
+    return std::unique_ptr<OutlierDetector>(new ZscoreDetector());
+  }
+  return Status::NotFound("no detector named '" + name + "'");
+}
+
+std::vector<std::string> RegisteredDetectorNames() {
+  return {"grubbs", "histogram", "lof", "iqr", "zscore"};
+}
+
+}  // namespace pcor

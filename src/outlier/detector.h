@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace pcor {
+
+/// \brief Interface for deterministic, unsupervised outlier detectors.
+///
+/// A detector sees only the metric values of a population D_C and returns
+/// the positions (indices into the input vector) it flags as outliers. The
+/// paper's PCOR framework treats the detector as a black box (requirement 4
+/// in Section 1.1); determinism is required by Definition 3.1 and is what
+/// makes the OCDP analysis of Section 3.1 meaningful.
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  /// \brief Stable identifier, e.g. "grubbs", "histogram", "lof".
+  virtual std::string name() const = 0;
+
+  /// \brief Positions of outliers within `values`, ascending. Must be a
+  /// pure function of `values`.
+  virtual std::vector<size_t> Detect(
+      const std::vector<double>& values) const = 0;
+
+  /// \brief f_M restricted to one target: is `values[target]` an outlier in
+  /// this population? Default runs Detect and searches; detectors may
+  /// override with a cheaper test.
+  virtual bool IsOutlier(const std::vector<double>& values,
+                         size_t target) const;
+
+  /// \brief Smallest population the detector will run on; smaller
+  /// populations report no outliers (statistical tests degenerate on tiny
+  /// samples, and tiny contexts carry little release value).
+  virtual size_t min_population() const { return 3; }
+};
+
+/// \brief Creates a default-configured detector by name: "grubbs",
+/// "histogram", "lof", "iqr" or "zscore".
+Result<std::unique_ptr<OutlierDetector>> MakeDetector(
+    const std::string& name);
+
+/// \brief Names accepted by MakeDetector, in registration order.
+std::vector<std::string> RegisteredDetectorNames();
+
+}  // namespace pcor

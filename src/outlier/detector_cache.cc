@@ -1,0 +1,67 @@
+#include "src/outlier/detector_cache.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pcor {
+
+OutlierVerifier::OutlierVerifier(const PopulationIndex& index,
+                                 const OutlierDetector& detector,
+                                 VerifierOptions options)
+    : index_(&index), detector_(&detector), options_(options) {}
+
+bool OutlierVerifier::IsOutlierInContext(const ContextVec& c,
+                                         uint32_t v_row) const {
+  // Fast precheck: V must belong to D_C at all (one bit test per attribute).
+  if (!context_ops::ContainsRow(index_->schema(), index_->dataset(), v_row,
+                                c)) {
+    return false;
+  }
+  auto outliers = OutliersInContext(c);
+  return std::binary_search(outliers->begin(), outliers->end(), v_row);
+}
+
+std::shared_ptr<const std::vector<uint32_t>>
+OutlierVerifier::OutliersInContext(const ContextVec& c) const {
+  if (options_.enable_cache) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = cache_.find(c);
+      if (it != cache_.end()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    auto computed = Compute(c);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (cache_.size() >= options_.max_cache_entries) cache_.clear();
+    auto [it, inserted] = cache_.emplace(c, std::move(computed));
+    return it->second;
+  }
+  return Compute(c);
+}
+
+std::shared_ptr<const std::vector<uint32_t>> OutlierVerifier::Compute(
+    const ContextVec& c) const {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  auto result = std::make_shared<std::vector<uint32_t>>();
+  const std::vector<uint32_t> rows = index_->RowIdsOf(c);
+  if (rows.size() < detector_->min_population()) return result;
+  std::vector<double> metric;
+  metric.reserve(rows.size());
+  const auto& column = index_->dataset().metric_column();
+  for (uint32_t row : rows) metric.push_back(column[row]);
+  const std::vector<size_t> flagged = detector_->Detect(metric);
+  result->reserve(flagged.size());
+  for (size_t pos : flagged) result->push_back(rows[pos]);
+  // Detect returns ascending positions; rows are ascending, so result is
+  // already sorted for binary_search.
+  return result;
+}
+
+void OutlierVerifier::ClearCache() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace pcor

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/context/context.h"
+#include "src/context/population_index.h"
+#include "src/outlier/detector.h"
+
+namespace pcor {
+
+/// \brief Options for the outlier verifier.
+struct VerifierOptions {
+  /// Upper bound on memoized contexts; the cache is cleared wholesale when
+  /// exceeded (searches revisit recent contexts, so recency is a good
+  /// enough proxy without LRU bookkeeping).
+  size_t max_cache_entries = 1 << 20;
+  /// Disable memoization entirely (for ablation benchmarks).
+  bool enable_cache = true;
+};
+
+/// \brief The paper's outlier verification function f_M(D_C, V), memoized.
+///
+/// Given a context C, the verifier filters the dataset through the
+/// population index, runs the detector on the population's metric values
+/// once, converts flagged positions to row ids, and caches the result —
+/// every later f_M(D_C, ·) query on the same context is a lookup. The
+/// graph-search samplers revisit contexts constantly (each vertex has t
+/// neighbors), so this memoization is the practical analogue of the paper's
+/// precomputed reference file. Thread-safe; the experiment harness shares
+/// one verifier across trial threads.
+class OutlierVerifier {
+ public:
+  OutlierVerifier(const PopulationIndex& index,
+                  const OutlierDetector& detector,
+                  VerifierOptions options = {});
+
+  /// \brief f_M(D_C, V): true iff row `v_row` is in D_C *and* the detector
+  /// flags it there. Rows outside the population are never outliers in it.
+  bool IsOutlierInContext(const ContextVec& c, uint32_t v_row) const;
+
+  /// \brief Row ids of all outliers in D_C, ascending (shared, immutable).
+  std::shared_ptr<const std::vector<uint32_t>> OutliersInContext(
+      const ContextVec& c) const;
+
+  const PopulationIndex& index() const { return *index_; }
+  const OutlierDetector& detector() const { return *detector_; }
+
+  /// \brief Number of full detector evaluations performed (cache misses).
+  size_t evaluations() const { return evaluations_.load(); }
+  /// \brief Number of cache hits served.
+  size_t cache_hits() const { return cache_hits_.load(); }
+
+  /// \brief Drops all memoized results.
+  void ClearCache();
+
+ private:
+  std::shared_ptr<const std::vector<uint32_t>> Compute(
+      const ContextVec& c) const;
+
+  const PopulationIndex* index_;
+  const OutlierDetector* detector_;
+  VerifierOptions options_;
+
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<ContextVec,
+                             std::shared_ptr<const std::vector<uint32_t>>,
+                             ContextVecHash>
+      cache_;
+  mutable std::atomic<size_t> evaluations_{0};
+  mutable std::atomic<size_t> cache_hits_{0};
+};
+
+}  // namespace pcor

@@ -1,0 +1,60 @@
+#include "src/outlier/grubbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace pcor {
+
+GrubbsDetector::GrubbsDetector(GrubbsOptions options) : options_(options) {}
+
+std::vector<size_t> GrubbsDetector::Detect(
+    const std::vector<double>& values) const {
+  std::vector<size_t> flagged;
+  if (values.size() < options_.min_population) return flagged;
+
+  // Active positions; flagged points are removed between iterations.
+  std::vector<size_t> active(values.size());
+  for (size_t i = 0; i < values.size(); ++i) active[i] = i;
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    const size_t n = active.size();
+    if (n < std::max<size_t>(3, options_.min_population)) break;
+
+    double mean = 0.0;
+    for (size_t idx : active) mean += values[idx];
+    mean /= static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t idx : active) {
+      const double d = values[idx] - mean;
+      ss += d * d;
+    }
+    const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+    if (sd == 0.0) break;  // constant sample: no outliers
+
+    // Most extreme point; ties break toward the smaller position so the
+    // procedure is fully deterministic.
+    size_t arg = active[0];
+    double best = -1.0;
+    size_t arg_pos = 0;
+    for (size_t j = 0; j < active.size(); ++j) {
+      const double dev = std::abs(values[active[j]] - mean);
+      if (dev > best) {
+        best = dev;
+        arg = active[j];
+        arg_pos = j;
+      }
+    }
+    const double g = best / sd;
+    const double g_crit = math::GrubbsCriticalValue(n, options_.alpha);
+    if (g <= g_crit) break;
+
+    flagged.push_back(arg);
+    active.erase(active.begin() + static_cast<ptrdiff_t>(arg_pos));
+  }
+  std::sort(flagged.begin(), flagged.end());
+  return flagged;
+}
+
+}  // namespace pcor

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "src/outlier/detector.h"
+
+namespace pcor {
+
+/// \brief Options for the Grubbs hypothesis-test detector.
+struct GrubbsOptions {
+  /// Significance level of each two-sided test.
+  double alpha = 0.05;
+  /// Upper bound on remove-and-retest iterations (generalized ESD style);
+  /// each iteration can flag one outlier.
+  size_t max_iterations = 10;
+  /// Populations below this size report no outliers.
+  size_t min_population = 8;
+};
+
+/// \brief Grubbs' test [Grubbs 1969], the paper's hypothesis-testing
+/// detector (Section 2.1).
+///
+/// One round computes G = max_i |x_i - mean| / stddev and compares it to the
+/// critical value G_crit(n, alpha) derived from the Student-t distribution;
+/// if G exceeds it, the extreme point is an outlier. Because the paper's
+/// f_M must answer for *any* record, we apply the classic remove-and-retest
+/// extension: flag, remove, recompute, up to max_iterations times. The
+/// procedure is deterministic.
+class GrubbsDetector : public OutlierDetector {
+ public:
+  explicit GrubbsDetector(GrubbsOptions options = {});
+
+  std::string name() const override { return "grubbs"; }
+  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  size_t min_population() const override { return options_.min_population; }
+
+  const GrubbsOptions& options() const { return options_; }
+
+ private:
+  GrubbsOptions options_;
+};
+
+}  // namespace pcor

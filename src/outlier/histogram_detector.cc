@@ -1,0 +1,47 @@
+#include "src/outlier/histogram_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcor {
+
+HistogramDetector::HistogramDetector(HistogramDetectorOptions options)
+    : options_(options) {}
+
+std::vector<size_t> HistogramDetector::Detect(
+    const std::vector<double>& values) const {
+  std::vector<size_t> flagged;
+  const size_t n = values.size();
+  if (n < options_.min_population) return flagged;
+
+  const auto [min_it, max_it] = std::minmax_element(values.begin(),
+                                                    values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (!(hi > lo)) return flagged;  // constant sample
+
+  const size_t bins = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(std::sqrt(
+             static_cast<double>(n)))));
+  const double width = (hi - lo) / static_cast<double>(bins);
+
+  auto bin_of = [&](double x) {
+    long b = static_cast<long>((x - lo) / width);
+    if (b < 0) b = 0;
+    if (b >= static_cast<long>(bins)) b = static_cast<long>(bins) - 1;
+    return static_cast<size_t>(b);
+  };
+
+  std::vector<size_t> counts(bins, 0);
+  for (double v : values) ++counts[bin_of(v)];
+
+  const double threshold =
+      options_.frequency_fraction * static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = counts[bin_of(values[i])];
+    if (static_cast<double>(c) < threshold) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace pcor

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/outlier/detector.h"
+
+namespace pcor {
+
+/// \brief Options for the histogram (distribution-fitting) detector.
+struct HistogramDetectorOptions {
+  /// A bin is an outlier bin when its frequency is below
+  /// frequency_fraction * |D_C| (the paper's 2.5e-3 threshold, Section 6.5).
+  double frequency_fraction = 2.5e-3;
+  /// Populations below this size report no outliers.
+  size_t min_population = 16;
+};
+
+/// \brief Histogram detector: the paper's distribution-fitting method.
+///
+/// Bins the population's metric values into round(sqrt(|D_C|)) equal-width
+/// bins over [min, max]; every point falling in a bin with frequency below
+/// frequency_fraction * |D_C| is flagged (Section 6.5). Deterministic.
+class HistogramDetector : public OutlierDetector {
+ public:
+  explicit HistogramDetector(HistogramDetectorOptions options = {});
+
+  std::string name() const override { return "histogram"; }
+  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  size_t min_population() const override { return options_.min_population; }
+
+  const HistogramDetectorOptions& options() const { return options_; }
+
+ private:
+  HistogramDetectorOptions options_;
+};
+
+}  // namespace pcor

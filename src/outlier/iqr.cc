@@ -1,0 +1,26 @@
+#include "src/outlier/iqr.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace pcor {
+
+IqrDetector::IqrDetector(IqrOptions options) : options_(options) {}
+
+std::vector<size_t> IqrDetector::Detect(
+    const std::vector<double>& values) const {
+  std::vector<size_t> flagged;
+  if (values.size() < options_.min_population) return flagged;
+  const double q1 = Percentile(values, 0.25);
+  const double q3 = Percentile(values, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - options_.multiplier * iqr;
+  const double hi = q3 + options_.multiplier * iqr;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < lo || values[i] > hi) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace pcor

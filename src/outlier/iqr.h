@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/outlier/detector.h"
+
+namespace pcor {
+
+/// \brief Options for the interquartile-range (Tukey fence) detector.
+struct IqrOptions {
+  /// Fence multiplier: outliers fall outside
+  /// [Q1 - multiplier*IQR, Q3 + multiplier*IQR].
+  double multiplier = 1.5;
+  size_t min_population = 8;
+};
+
+/// \brief Classic Tukey-fence detector. Not part of the paper's evaluated
+/// trio, but PCOR claims compatibility with *any* deterministic detector
+/// (contribution 4); this detector exercises that claim in tests, examples
+/// and the extension benchmarks.
+class IqrDetector : public OutlierDetector {
+ public:
+  explicit IqrDetector(IqrOptions options = {});
+
+  std::string name() const override { return "iqr"; }
+  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  size_t min_population() const override { return options_.min_population; }
+
+ private:
+  IqrOptions options_;
+};
+
+}  // namespace pcor

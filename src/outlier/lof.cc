@@ -1,0 +1,94 @@
+#include "src/outlier/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pcor {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// lrd ratio with the duplicate-cluster conventions documented in lof.h.
+inline double LrdRatio(double numer, double denom) {
+  if (std::isinf(denom)) return std::isinf(numer) ? 1.0 : 0.0;
+  return numer / denom;
+}
+}  // namespace
+
+LofDetector::LofDetector(LofOptions options) : options_(options) {}
+
+std::vector<double> LofDetector::Scores(
+    const std::vector<double>& values) const {
+  const size_t n = values.size();
+  const size_t k = options_.k;
+  std::vector<double> scores(n, 1.0);
+  if (n <= k + 1) return scores;  // not enough points for a k-neighborhood
+
+  // Sort positions by (value, original index) for a deterministic order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = values[order[i]];
+
+  // Exact k-NN window per sorted position: expand toward the nearer side,
+  // ties toward the left.
+  std::vector<size_t> win_lo(n), win_hi(n);
+  std::vector<double> kdist(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i, hi = i;
+    for (size_t step = 0; step < k; ++step) {
+      const bool can_left = lo > 0;
+      const bool can_right = hi + 1 < n;
+      if (can_left &&
+          (!can_right || x[i] - x[lo - 1] <= x[hi + 1] - x[i])) {
+        --lo;
+      } else {
+        ++hi;
+      }
+    }
+    win_lo[i] = lo;
+    win_hi[i] = hi;
+    kdist[i] = std::max(x[i] - x[lo], x[hi] - x[i]);
+  }
+
+  // Local reachability density in sorted space.
+  std::vector<double> lrd(n);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t j = win_lo[i]; j <= win_hi[i]; ++j) {
+      if (j == i) continue;
+      reach_sum += std::max(kdist[j], std::abs(x[i] - x[j]));
+    }
+    lrd[i] = reach_sum > 0.0 ? static_cast<double>(k) / reach_sum : kInf;
+  }
+
+  // LOF = mean over neighbors of lrd(neighbor) / lrd(point).
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t j = win_lo[i]; j <= win_hi[i]; ++j) {
+      if (j == i) continue;
+      acc += LrdRatio(lrd[j], lrd[i]);
+    }
+    scores[order[i]] = acc / static_cast<double>(k);
+  }
+  return scores;
+}
+
+std::vector<size_t> LofDetector::Detect(
+    const std::vector<double>& values) const {
+  std::vector<size_t> flagged;
+  if (values.size() < options_.min_population) return flagged;
+  const std::vector<double> scores = Scores(values);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > options_.score_threshold) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace pcor

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "src/outlier/detector.h"
+
+namespace pcor {
+
+/// \brief Options for the z-score detector.
+struct ZscoreOptions {
+  /// Points with |x - mean| / stddev above this are flagged.
+  double threshold = 3.0;
+  size_t min_population = 8;
+};
+
+/// \brief Plain z-score thresholding — the simplest statistics-based
+/// detector, used as a fast baseline in tests and extension benchmarks.
+class ZscoreDetector : public OutlierDetector {
+ public:
+  explicit ZscoreDetector(ZscoreOptions options = {});
+
+  std::string name() const override { return "zscore"; }
+  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  size_t min_population() const override { return options_.min_population; }
+
+ private:
+  ZscoreOptions options_;
+};
+
+}  // namespace pcor

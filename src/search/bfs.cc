@@ -1,0 +1,69 @@
+#include "src/search/bfs.h"
+
+#include <unordered_set>
+
+#include "src/dp/mechanism.h"
+
+namespace pcor {
+
+Result<SamplerOutcome> BfsSampler::Sample(const SamplerRequest& request,
+                                          Rng* rng) const {
+  const OutlierVerifier& verifier = *request.verifier;
+  const size_t t = verifier.index().schema().total_values();
+
+  if (!verifier.IsOutlierInContext(request.start_context, request.v_row)) {
+    return Status::InvalidArgument(
+        "BFS requires a matching starting context C_V");
+  }
+  if (request.utility == nullptr) {
+    return Status::InvalidArgument("BFS requires a utility function");
+  }
+  ExponentialMechanism mech(request.epsilon1,
+                            request.utility->sensitivity());
+
+  SamplerOutcome out;
+  // Frontier with cached utility scores, treated as a priority queue whose
+  // "pop" is an Exponential-mechanism draw.
+  std::vector<ContextVec> frontier{request.start_context};
+  std::vector<double> frontier_scores{
+      request.utility->Score(request.start_context, request.v_row)};
+  std::unordered_set<ContextVec, ContextVecHash> seen;  // frontier ∪ visited
+  seen.insert(request.start_context);
+  std::unordered_set<ContextVec, ContextVecHash> visited;
+
+  while (visited.size() < request.num_samples && !frontier.empty()) {
+    if (out.probes >= request.max_probes) {
+      out.hit_probe_cap = true;
+      break;
+    }
+    PCOR_ASSIGN_OR_RETURN(size_t pick, mech.Choose(frontier_scores, rng));
+    ContextVec current = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    frontier_scores[pick] = frontier_scores.back();
+    frontier_scores.pop_back();
+
+    visited.insert(current);
+    out.samples.push_back(current);
+
+    ContextVec neighbor = current;
+    for (size_t bit = 0; bit < t; ++bit) {
+      neighbor.Flip(bit);
+      ++out.probes;
+      if (!seen.count(neighbor) &&
+          verifier.IsOutlierInContext(neighbor, request.v_row)) {
+        seen.insert(neighbor);
+        frontier.push_back(neighbor);
+        frontier_scores.push_back(
+            request.utility->Score(neighbor, request.v_row));
+      }
+      neighbor.Flip(bit);
+    }
+  }
+  if (out.samples.empty()) {
+    return Status::NoValidContext("BFS visited no matching context");
+  }
+  return out;
+}
+
+}  // namespace pcor

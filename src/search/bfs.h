@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/search/sampler.h"
+
+namespace pcor {
+
+/// \brief Algorithm 5 — differentially private breadth-first search, the
+/// paper's final sampler choice for PCOR (Section 6.3).
+///
+/// The frontier C_M acts as a priority queue: at each step the Exponential
+/// mechanism (scored by the utility function) selects which frontier
+/// context to expand; its matching, unseen neighbors join the frontier.
+/// Like DP-DFS it satisfies ((2n+2)*eps1, COE)-OCDP (Theorem 5.7) at
+/// O(n^2*t + n*t) cost (Theorem 5.8) — slightly slower than DFS in theory,
+/// but the utility-directed frontier finds larger-population contexts,
+/// which is why the paper measures BFS >= DFS on both axes.
+class BfsSampler : public ContextSampler {
+ public:
+  std::string name() const override { return "bfs"; }
+  SamplerKind kind() const override { return SamplerKind::kBfs; }
+  Result<SamplerOutcome> Sample(const SamplerRequest& request,
+                                Rng* rng) const override;
+};
+
+}  // namespace pcor

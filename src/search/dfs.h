@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/search/sampler.h"
+
+namespace pcor {
+
+/// \brief Algorithm 4 — differentially private depth-first search.
+///
+/// Plain DFS is deterministic and therefore cannot satisfy DP (Section
+/// 5.2.2): an output with probability 1 on D1 may have probability 0 on a
+/// neighbor D2. The paper's modification replaces the fixed child order
+/// with an Exponential-mechanism draw over the *matching, unvisited*
+/// children of the stack top, scored by the utility function. Each of the
+/// n pushes leaks 2*eps1, so the sampler satisfies
+/// ((2n+2)*eps1, COE)-OCDP including the final selection (Theorem 5.5), at
+/// O(n*t) verification cost (Theorem 5.6).
+class DfsSampler : public ContextSampler {
+ public:
+  std::string name() const override { return "dfs"; }
+  SamplerKind kind() const override { return SamplerKind::kDfs; }
+  Result<SamplerOutcome> Sample(const SamplerRequest& request,
+                                Rng* rng) const override;
+};
+
+}  // namespace pcor

@@ -1,0 +1,28 @@
+#include "src/search/direct.h"
+
+#include "src/context/coe.h"
+
+namespace pcor {
+
+Result<SamplerOutcome> DirectSampler::Sample(const SamplerRequest& request,
+                                             Rng* rng) const {
+  (void)rng;  // enumeration is deterministic
+  CoeOptions options;
+  options.max_contexts = request.max_probes;
+  PCOR_ASSIGN_OR_RETURN(
+      std::vector<ContextVec> coe,
+      EnumerateCoe(*request.verifier, request.v_row, options));
+  if (coe.empty()) {
+    return Status::NoValidContext("COE is empty: V is not a contextual "
+                                  "outlier under this detector");
+  }
+  SamplerOutcome out;
+  const Schema& schema = request.verifier->index().schema();
+  const size_t free_bits =
+      schema.total_values() - schema.num_attributes();
+  out.probes = size_t{1} << free_bits;
+  out.samples = std::move(coe);
+  return out;
+}
+
+}  // namespace pcor

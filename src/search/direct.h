@@ -1,0 +1,19 @@
+#pragma once
+
+#include "src/search/sampler.h"
+
+namespace pcor {
+
+/// \brief Algorithm 1 — the direct approach: enumerate COE_M(D, V)
+/// exhaustively; the whole matching set becomes the candidate multiset.
+/// Satisfies (2*eps1, COE)-OCDP (Theorem 4.1) and costs O(2^t) (Theorem
+/// 4.2); it is the exact-but-slow baseline every sampler is compared to.
+class DirectSampler : public ContextSampler {
+ public:
+  std::string name() const override { return "direct"; }
+  SamplerKind kind() const override { return SamplerKind::kDirect; }
+  Result<SamplerOutcome> Sample(const SamplerRequest& request,
+                                Rng* rng) const override;
+};
+
+}  // namespace pcor

@@ -1,0 +1,102 @@
+#include "src/search/pcor.h"
+
+#include "src/common/timer.h"
+#include "src/dp/mechanism.h"
+
+namespace pcor {
+
+PcorEngine::PcorEngine(const Dataset& dataset,
+                       const OutlierDetector& detector,
+                       VerifierOptions verifier_options)
+    : dataset_(&dataset),
+      index_(dataset),
+      verifier_(index_, detector, verifier_options) {}
+
+Result<PcorRelease> PcorEngine::Release(uint32_t v_row,
+                                        const PcorOptions& options,
+                                        Rng* rng) const {
+  // Graph samplers need C_V before the utility can be built (the overlap
+  // utility is defined relative to it).
+  const bool needs_start = options.sampler == SamplerKind::kRandomWalk ||
+                           options.sampler == SamplerKind::kDfs ||
+                           options.sampler == SamplerKind::kBfs;
+  ContextVec start;
+  if (needs_start || options.utility == UtilityKind::kOverlapWithStart) {
+    PCOR_ASSIGN_OR_RETURN(
+        start,
+        FindStartingContext(verifier_, v_row, options.starting_context, rng));
+  }
+  std::unique_ptr<UtilityFunction> utility =
+      MakeUtility(options.utility, verifier_, start);
+  PCOR_ASSIGN_OR_RETURN(PcorRelease release,
+                        ReleaseWithUtility(v_row, options, *utility, rng));
+  return release;
+}
+
+Result<PcorRelease> PcorEngine::ReleaseWithUtility(
+    uint32_t v_row, const PcorOptions& options,
+    const UtilityFunction& utility, Rng* rng) const {
+  WallTimer timer;
+  if (v_row >= dataset_->num_rows()) {
+    return Status::OutOfRange("v_row outside dataset");
+  }
+
+  PcorRelease release;
+  const size_t evals_before = verifier_.evaluations();
+
+  const bool needs_start = options.sampler == SamplerKind::kRandomWalk ||
+                           options.sampler == SamplerKind::kDfs ||
+                           options.sampler == SamplerKind::kBfs;
+  if (needs_start) {
+    // The overlap utility carries its own C_V; reuse it so the sampler
+    // walks from the same context the utility scores against.
+    if (const auto* overlap = dynamic_cast<const OverlapUtility*>(&utility)) {
+      release.starting_context = overlap->starting_context();
+    } else {
+      PCOR_ASSIGN_OR_RETURN(
+          release.starting_context,
+          FindStartingContext(verifier_, v_row, options.starting_context,
+                              rng));
+    }
+  }
+
+  const double eps1 = Epsilon1ForTotal(options.sampler, options.total_epsilon,
+                                       options.num_samples);
+
+  SamplerRequest request;
+  request.verifier = &verifier_;
+  request.utility = &utility;
+  request.v_row = v_row;
+  request.start_context = release.starting_context;
+  request.num_samples = options.num_samples;
+  request.epsilon1 = eps1;
+  request.max_probes = options.max_probes;
+
+  std::unique_ptr<ContextSampler> sampler = MakeSampler(options.sampler);
+  PCOR_ASSIGN_OR_RETURN(SamplerOutcome outcome,
+                        sampler->Sample(request, rng));
+
+  // Final Exponential-mechanism draw over the collected candidates.
+  std::vector<double> scores(outcome.samples.size());
+  for (size_t i = 0; i < outcome.samples.size(); ++i) {
+    scores[i] = utility.Score(outcome.samples[i], v_row);
+  }
+  ExponentialMechanism mech(eps1, utility.sensitivity());
+  PCOR_ASSIGN_OR_RETURN(size_t pick, mech.Choose(scores, rng));
+
+  release.context = outcome.samples[pick];
+  release.description =
+      context_ops::Describe(dataset_->schema(), release.context);
+  release.epsilon1 = eps1;
+  release.epsilon_spent =
+      TotalForEpsilon1(options.sampler, eps1, options.num_samples);
+  release.num_candidates = outcome.samples.size();
+  release.probes = outcome.probes;
+  release.f_evaluations = verifier_.evaluations() - evals_before;
+  release.utility_score = scores[pick];
+  release.hit_probe_cap = outcome.hit_probe_cap;
+  release.seconds = timer.ElapsedSeconds();
+  return release;
+}
+
+}  // namespace pcor

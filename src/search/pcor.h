@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/context/population_index.h"
+#include "src/context/starting_context.h"
+#include "src/data/dataset.h"
+#include "src/dp/budget.h"
+#include "src/dp/utility.h"
+#include "src/outlier/detector.h"
+#include "src/outlier/detector_cache.h"
+#include "src/search/sampler.h"
+
+namespace pcor {
+
+/// \brief Options for one PCOR release.
+struct PcorOptions {
+  /// Which sampling layer to use (the paper's final choice is BFS).
+  SamplerKind sampler = SamplerKind::kBfs;
+  /// n — the number of samples the sampler collects.
+  size_t num_samples = 50;
+  /// Total OCDP budget epsilon for this release. eps1 is derived per
+  /// algorithm: eps/2 for direct/uniform/random-walk, eps/(2n+2) for
+  /// DFS/BFS (see dp/budget.h).
+  double total_epsilon = 0.2;
+  /// Utility family scoring candidate contexts.
+  UtilityKind utility = UtilityKind::kPopulationSize;
+  /// How the starting context C_V is obtained.
+  StartingContextOptions starting_context;
+  /// Probe cap forwarded to the sampler.
+  size_t max_probes = 20'000'000;
+};
+
+/// \brief The released context plus release metadata (data-owner side).
+struct PcorRelease {
+  ContextVec context;            ///< C_p — the private valid context
+  std::string description;       ///< human-readable rendering of C_p
+  ContextVec starting_context;   ///< C_V used by graph samplers
+  double epsilon_spent = 0.0;    ///< total OCDP epsilon consumed
+  double epsilon1 = 0.0;         ///< per-draw mechanism parameter
+  size_t num_candidates = 0;     ///< |C_M| the final draw chose from
+  size_t probes = 0;             ///< candidate contexts examined
+  size_t f_evaluations = 0;      ///< detector runs (cache misses)
+  double utility_score = 0.0;    ///< u_V(D, C_p) — private to the owner
+  double seconds = 0.0;          ///< wall time of the release
+  bool hit_probe_cap = false;
+};
+
+/// \brief PCOR — the end-to-end private contextual outlier release engine
+/// (Definition 3.2). Owns the population index and the memoized verifier
+/// for one (dataset, detector) pair; Release() can be called for many
+/// outliers and options combinations. Thread-safe for concurrent Release()
+/// calls with distinct Rngs.
+class PcorEngine {
+ public:
+  PcorEngine(const Dataset& dataset, const OutlierDetector& detector,
+             VerifierOptions verifier_options = {});
+
+  /// \brief Releases a private valid context for row `v_row`.
+  ///
+  /// Steps: (1) find C_V, (2) derive eps1 from the OCDP budget and the
+  /// sampler kind, (3) collect C_M with the sampler, (4) one final
+  /// Exponential-mechanism draw over C_M picks the release.
+  Result<PcorRelease> Release(uint32_t v_row, const PcorOptions& options,
+                              Rng* rng) const;
+
+  /// \brief Variant with a caller-supplied utility (any UtilityFunction
+  /// implementation; PCOR's contribution 4 is utility-agnosticism).
+  Result<PcorRelease> ReleaseWithUtility(uint32_t v_row,
+                                         const PcorOptions& options,
+                                         const UtilityFunction& utility,
+                                         Rng* rng) const;
+
+  const Dataset& dataset() const { return *dataset_; }
+  const PopulationIndex& population_index() const { return index_; }
+  const OutlierVerifier& verifier() const { return verifier_; }
+
+ private:
+  const Dataset* dataset_;
+  PopulationIndex index_;
+  OutlierVerifier verifier_;
+};
+
+}  // namespace pcor

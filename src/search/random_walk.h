@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/search/sampler.h"
+
+namespace pcor {
+
+/// \brief Algorithm 3 — random-walk sampling on the context graph.
+///
+/// Starting from C_V, the walk repeatedly picks an untried connected
+/// context uniformly at random; a matching pick is appended to C_M and the
+/// walk moves there (exploiting the locality hypothesis of Section 5.2);
+/// a non-matching pick is removed from the current candidate set. The walk
+/// stops at n samples or when the current vertex has no untried neighbor
+/// left. Satisfies (2*eps1, COE)-OCDP (Theorem 5.3) at O(n*t) cost
+/// (Theorem 5.4) — the fastest sampler, but undirected, hence the paper's
+/// measured utility loss versus DFS/BFS (Table 3).
+class RandomWalkSampler : public ContextSampler {
+ public:
+  std::string name() const override { return "random_walk"; }
+  SamplerKind kind() const override { return SamplerKind::kRandomWalk; }
+  Result<SamplerOutcome> Sample(const SamplerRequest& request,
+                                Rng* rng) const override;
+};
+
+}  // namespace pcor

@@ -1,0 +1,27 @@
+#include "src/search/sampler.h"
+
+#include "src/search/bfs.h"
+#include "src/search/dfs.h"
+#include "src/search/direct.h"
+#include "src/search/random_walk.h"
+#include "src/search/uniform.h"
+
+namespace pcor {
+
+std::unique_ptr<ContextSampler> MakeSampler(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kDirect:
+      return std::make_unique<DirectSampler>();
+    case SamplerKind::kUniform:
+      return std::make_unique<UniformSampler>();
+    case SamplerKind::kRandomWalk:
+      return std::make_unique<RandomWalkSampler>();
+    case SamplerKind::kDfs:
+      return std::make_unique<DfsSampler>();
+    case SamplerKind::kBfs:
+      return std::make_unique<BfsSampler>();
+  }
+  return nullptr;
+}
+
+}  // namespace pcor

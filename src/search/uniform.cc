@@ -1,0 +1,31 @@
+#include "src/search/uniform.h"
+
+namespace pcor {
+
+Result<SamplerOutcome> UniformSampler::Sample(const SamplerRequest& request,
+                                              Rng* rng) const {
+  const OutlierVerifier& verifier = *request.verifier;
+  const size_t t = verifier.index().schema().total_values();
+  SamplerOutcome out;
+  while (out.samples.size() < request.num_samples) {
+    if (out.probes >= request.max_probes) {
+      out.hit_probe_cap = true;
+      break;
+    }
+    ContextVec c(t);
+    for (size_t bit = 0; bit < t; ++bit) {
+      if (rng->NextBernoulli(0.5)) c.Set(bit);
+    }
+    ++out.probes;
+    if (verifier.IsOutlierInContext(c, request.v_row)) {
+      out.samples.push_back(c);
+    }
+  }
+  if (out.samples.empty()) {
+    return Status::NoValidContext(
+        "uniform sampling found no matching context within the probe cap");
+  }
+  return out;
+}
+
+}  // namespace pcor

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/search/sampler.h"
+
+namespace pcor {
+
+/// \brief Algorithm 2 — uniform sampling: draw contexts by setting each of
+/// the t bits independently with probability p = 1/2 and keep the matching
+/// ones until n samples are found. Satisfies (2*eps1, COE)-OCDP (Theorem
+/// 5.1) but stays O(2^t) in expectation (Theorem 5.2): when matching
+/// contexts are a 2^-k fraction of the space, every accepted sample costs
+/// ~2^k probes — this is the paper's motivation for graph-based sampling.
+class UniformSampler : public ContextSampler {
+ public:
+  std::string name() const override { return "uniform"; }
+  SamplerKind kind() const override { return SamplerKind::kUniform; }
+  Result<SamplerOutcome> Sample(const SamplerRequest& request,
+                                Rng* rng) const override;
+};
+
+}  // namespace pcor

@@ -1,0 +1,102 @@
+#include "src/common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace pcor {
+namespace {
+
+TEST(BitVectorTest, SetClearTest) {
+  BitVector b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_FALSE(b.Test(63));
+  b.Set(63);
+  b.Set(64);
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitVectorTest, FillAllRespectsTailBits) {
+  BitVector b(70, true);
+  EXPECT_EQ(b.Count(), 70u);  // bits beyond size must not be set
+  b.FillAll(false);
+  EXPECT_EQ(b.Count(), 0u);
+  b.FillAll(true);
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(BitVectorTest, BooleanAlgebraMatchesManual) {
+  Rng rng(3);
+  const size_t n = 257;
+  BitVector a(n), b(n);
+  std::vector<bool> ma(n), mb(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.4)) {
+      a.Set(i);
+      ma[i] = true;
+    }
+    if (rng.NextBernoulli(0.6)) {
+      b.Set(i);
+      mb[i] = true;
+    }
+  }
+  BitVector and_v = a, or_v = a, andnot_v = a, xor_v = a;
+  and_v.AndWith(b);
+  or_v.OrWith(b);
+  andnot_v.AndNotWith(b);
+  xor_v.XorWith(b);
+  size_t expected_and = 0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(and_v.Test(i), ma[i] && mb[i]) << i;
+    EXPECT_EQ(or_v.Test(i), ma[i] || mb[i]) << i;
+    EXPECT_EQ(andnot_v.Test(i), ma[i] && !mb[i]) << i;
+    EXPECT_EQ(xor_v.Test(i), ma[i] != mb[i]) << i;
+    expected_and += (ma[i] && mb[i]);
+  }
+  EXPECT_EQ(a.AndCount(b), expected_and);
+}
+
+TEST(BitVectorTest, ToIndicesAndForEach) {
+  BitVector b(130);
+  b.Set(0);
+  b.Set(65);
+  b.Set(129);
+  auto idx = b.ToIndices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 65u);
+  EXPECT_EQ(idx[2], 129u);
+  size_t visits = 0;
+  uint32_t last = 0;
+  b.ForEachSetBit([&](uint32_t i) {
+    EXPECT_GE(i, last);
+    last = i;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 3u);
+}
+
+TEST(BitVectorTest, AnySetAndEquality) {
+  BitVector a(10), b(10);
+  EXPECT_TRUE(a.NoneSet());
+  EXPECT_EQ(a, b);
+  a.Set(5);
+  EXPECT_TRUE(a.AnySet());
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.NoneSet());
+}
+
+}  // namespace
+}  // namespace pcor

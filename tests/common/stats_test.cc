@@ -1,0 +1,117 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcor {
+namespace {
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), 5.0, 1e-12);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingleton) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  RunningStats all, left, right;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    all.Add(xs[i]);
+    (i < 4 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(ConfidenceIntervalTest, KnownTValue) {
+  // n = 4, stddev = 1, mean = 0: the 95% t-CI half width is
+  // t_{0.975,3} / sqrt(4) = 3.1824 / 2.
+  std::vector<double> xs{-1.0, -1.0, 1.0, 1.0};
+  // stddev = sqrt(4/3)
+  auto ci = MeanConfidenceInterval(xs, 0.95);
+  const double sd = std::sqrt(4.0 / 3.0);
+  const double half = 3.182446 * sd / 2.0;
+  EXPECT_NEAR(ci.mean, 0.0, 1e-12);
+  EXPECT_NEAR(ci.upper - ci.mean, half, 1e-4);
+  EXPECT_NEAR(ci.mean - ci.lower, half, 1e-4);
+}
+
+TEST(ConfidenceIntervalTest, DegenerateInputs) {
+  auto empty = MeanConfidenceInterval({}, 0.9);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  auto single = MeanConfidenceInterval({5.0}, 0.9);
+  EXPECT_DOUBLE_EQ(single.lower, 5.0);
+  EXPECT_DOUBLE_EQ(single.upper, 5.0);
+}
+
+TEST(ConfidenceIntervalTest, NarrowsWithMoreSamples) {
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(i % 2);
+  for (int i = 0; i < 1000; ++i) large.push_back(i % 2);
+  auto ci_small = MeanConfidenceInterval(small, 0.9);
+  auto ci_large = MeanConfidenceInterval(large, 0.9);
+  EXPECT_LT(ci_large.upper - ci_large.lower,
+            ci_small.upper - ci_small.lower);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0 / 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.9), 7.0);
+}
+
+TEST(HistogramBuilderTest, CountsAndClamping) {
+  HistogramBuilder h(0.0, 10.0, 5);
+  h.AddAll({0.5, 1.5, 2.5, 9.9, -3.0, 42.0});
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.counts()[0], 3u);  // 0.5, 1.5 and clamped -3.0
+  EXPECT_EQ(h.counts()[1], 1u);  // 2.5
+  EXPECT_EQ(h.counts()[4], 2u);  // 9.9 and clamped 42.0
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramBuilderTest, AsciiRenderingHasOneLinePerBin) {
+  HistogramBuilder h(0.0, 1.0, 4);
+  h.AddAll({0.1, 0.2, 0.9});
+  std::string ascii = h.ToAscii();
+  EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 4);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+}
+
+TEST(RuntimeSummaryTest, MinMaxAvg) {
+  auto s = SummarizeRuntimes({2.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_seconds, 2.0);
+  EXPECT_EQ(s.trials, 3u);
+  auto empty = SummarizeRuntimes({});
+  EXPECT_EQ(empty.trials, 0u);
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,79 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pcor {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = strings::Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(strings::Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(strings::Join(pieces, "-"), "x-y-z");
+  EXPECT_EQ(strings::Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(strings::Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(strings::Trim(""), "");
+  EXPECT_EQ(strings::Trim("   "), "");
+  EXPECT_EQ(strings::Trim("inner space"), "inner space");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(strings::StartsWith("hello", "he"));
+  EXPECT_FALSE(strings::StartsWith("hello", "lo"));
+  EXPECT_TRUE(strings::EndsWith("hello", "lo"));
+  EXPECT_FALSE(strings::EndsWith("hello", "he"));
+  EXPECT_TRUE(strings::StartsWith("x", ""));
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(strings::ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(strings::Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strings::Format("%.2f", 1.005), "1.00");
+}
+
+TEST(StringUtilTest, HumanDuration) {
+  EXPECT_EQ(strings::HumanDuration(0.5), "500ms");
+  EXPECT_EQ(strings::HumanDuration(1.5), "1.5s");
+  EXPECT_EQ(strings::HumanDuration(61.0), "1m 01.0s");
+  EXPECT_EQ(strings::HumanDuration(3700.0), "1h 1m");
+}
+
+TEST(StringUtilTest, ParseSizeOr) {
+  EXPECT_EQ(strings::ParseSizeOr("42", 0), 42u);
+  EXPECT_EQ(strings::ParseSizeOr("bad", 7), 7u);
+  EXPECT_EQ(strings::ParseSizeOr("", 7), 7u);
+  EXPECT_EQ(strings::ParseSizeOr("12x", 7), 7u);
+}
+
+TEST(StringUtilTest, ParseDoubleOr) {
+  EXPECT_DOUBLE_EQ(strings::ParseDoubleOr("2.5", 0), 2.5);
+  EXPECT_DOUBLE_EQ(strings::ParseDoubleOr("nope", 1.25), 1.25);
+}
+
+TEST(StringUtilTest, EnvOverrides) {
+  ::setenv("PCOR_TEST_ENV_SIZE", "99", 1);
+  EXPECT_EQ(strings::EnvSizeOr("PCOR_TEST_ENV_SIZE", 1), 99u);
+  ::unsetenv("PCOR_TEST_ENV_SIZE");
+  EXPECT_EQ(strings::EnvSizeOr("PCOR_TEST_ENV_SIZE", 1), 1u);
+  ::setenv("PCOR_TEST_ENV_DBL", "0.125", 1);
+  EXPECT_DOUBLE_EQ(strings::EnvDoubleOr("PCOR_TEST_ENV_DBL", 9.0), 0.125);
+  ::unsetenv("PCOR_TEST_ENV_DBL");
+}
+
+}  // namespace
+}  // namespace pcor

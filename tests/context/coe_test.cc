@@ -1,0 +1,132 @@
+#include "src/context/coe.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+// Brute force over all 2^t contexts — the paper's literal Algorithm 1 loop.
+std::vector<ContextVec> BruteForceCoe(const OutlierVerifier& verifier,
+                                      uint32_t v_row) {
+  const size_t t = verifier.index().schema().total_values();
+  std::vector<ContextVec> out;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << t); ++mask) {
+    ContextVec c(t);
+    for (size_t bit = 0; bit < t; ++bit) {
+      if ((mask >> bit) & 1) c.Set(bit);
+    }
+    if (verifier.IsOutlierInContext(c, v_row)) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class CoeTest : public ::testing::Test {
+ protected:
+  CoeTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        index_(grid_.dataset),
+        detector_(testing_util::MakeTestDetector()),
+        verifier_(index_, detector_) {}
+
+  testing_util::GridData grid_;
+  PopulationIndex index_;
+  ZscoreDetector detector_;
+  OutlierVerifier verifier_;
+};
+
+TEST_F(CoeTest, MatchesBruteForceEnumeration) {
+  auto coe = EnumerateCoe(verifier_, grid_.v_row);
+  ASSERT_TRUE(coe.ok());
+  EXPECT_EQ(*coe, BruteForceCoe(verifier_, grid_.v_row));
+  EXPECT_FALSE(coe->empty());
+}
+
+TEST_F(CoeTest, EveryContextContainsVAndMatches) {
+  auto coe = EnumerateCoe(verifier_, grid_.v_row);
+  ASSERT_TRUE(coe.ok());
+  const Schema& schema = grid_.dataset.schema();
+  for (const auto& c : *coe) {
+    EXPECT_TRUE(
+        context_ops::ContainsRow(schema, grid_.dataset, grid_.v_row, c));
+    EXPECT_TRUE(context_ops::HasAllAttributes(schema, c));
+    EXPECT_TRUE(verifier_.IsOutlierInContext(c, grid_.v_row));
+  }
+}
+
+TEST_F(CoeTest, SpreadGroupShrinksCoe) {
+  // On the clean grid, V is an outlier in all 16 contexts that contain it.
+  auto clean = testing_util::MakeGridDataset();
+  PopulationIndex clean_index(clean.dataset);
+  ZscoreDetector detector = testing_util::MakeTestDetector();
+  OutlierVerifier clean_verifier(clean_index, detector);
+  auto clean_coe = EnumerateCoe(clean_verifier, clean.v_row);
+  ASSERT_TRUE(clean_coe.ok());
+  EXPECT_EQ(clean_coe->size(), 16u);
+
+  // The wild group in the spread grid removes some of them.
+  auto spread_coe = EnumerateCoe(verifier_, grid_.v_row);
+  ASSERT_TRUE(spread_coe.ok());
+  EXPECT_LT(spread_coe->size(), 16u);
+  EXPECT_GT(spread_coe->size(), 0u);
+}
+
+TEST_F(CoeTest, NonOutlierRowHasEmptyCoe) {
+  // Row 0 sits in the middle of its group's tight cluster.
+  auto coe = EnumerateCoe(verifier_, /*v_row=*/0);
+  ASSERT_TRUE(coe.ok());
+  EXPECT_TRUE(coe->empty());
+}
+
+TEST_F(CoeTest, RejectsOutOfRangeRow) {
+  EXPECT_FALSE(
+      EnumerateCoe(verifier_, grid_.dataset.num_rows() + 5).ok());
+}
+
+TEST_F(CoeTest, RespectsContextCap) {
+  CoeOptions options;
+  options.max_contexts = 2;  // 2^(6-2) = 16 needed
+  EXPECT_TRUE(EnumerateCoe(verifier_, grid_.v_row, options)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(CompareCoeTest, IdenticalSets) {
+  auto a = ContextVec::FromBitString("1100").ValueOrDie();
+  auto b = ContextVec::FromBitString("0110").ValueOrDie();
+  std::vector<ContextVec> left{std::min(a, b), std::max(a, b)};
+  auto match = CompareCoe(left, left);
+  EXPECT_EQ(match.intersection_size, 2u);
+  EXPECT_DOUBLE_EQ(match.jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(match.containment, 1.0);
+}
+
+TEST(CompareCoeTest, PartialOverlap) {
+  auto a = ContextVec::FromBitString("0001").ValueOrDie();
+  auto b = ContextVec::FromBitString("0010").ValueOrDie();
+  auto c = ContextVec::FromBitString("0100").ValueOrDie();
+  std::vector<ContextVec> v1{a, b};
+  std::vector<ContextVec> v2{b, c};
+  std::sort(v1.begin(), v1.end());
+  std::sort(v2.begin(), v2.end());
+  auto match = CompareCoe(v1, v2);
+  EXPECT_EQ(match.intersection_size, 1u);
+  EXPECT_EQ(match.union_size, 3u);
+  EXPECT_DOUBLE_EQ(match.jaccard, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(match.containment, 0.5);
+}
+
+TEST(CompareCoeTest, EmptySets) {
+  auto match = CompareCoe({}, {});
+  EXPECT_DOUBLE_EQ(match.jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(match.containment, 1.0);
+  auto a = ContextVec::FromBitString("01").ValueOrDie();
+  auto half = CompareCoe({a}, {});
+  EXPECT_DOUBLE_EQ(half.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(half.containment, 0.0);
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,154 @@
+#include "src/context/context.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+TEST(ContextVecTest, SetClearFlipTest) {
+  ContextVec c(9);
+  EXPECT_EQ(c.num_bits(), 9u);
+  EXPECT_EQ(c.Weight(), 0u);
+  c.Set(0);
+  c.Set(8);
+  EXPECT_TRUE(c.Test(0));
+  EXPECT_TRUE(c.Test(8));
+  EXPECT_EQ(c.Weight(), 2u);
+  c.Flip(8);
+  EXPECT_FALSE(c.Test(8));
+  c.Clear(0);
+  EXPECT_EQ(c.Weight(), 0u);
+}
+
+TEST(ContextVecTest, PaperRunningExampleBitString) {
+  // The paper's example context <101001010>: CEOs and Lawyers in Toronto's
+  // Historic district over the {Jobtitle, City, District} schema.
+  auto c = ContextVec::FromBitString("101001010");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->num_bits(), 9u);
+  EXPECT_EQ(c->Weight(), 4u);
+  EXPECT_EQ(c->ToBitString(), "101001010");
+  // Removing "Lawyer" (bit 2) gives the connected context <100001010>.
+  ContextVec connected = *c;
+  connected.Clear(2);
+  EXPECT_EQ(connected.ToBitString(), "100001010");
+  EXPECT_EQ(c->HammingDistance(connected), 1u);
+  EXPECT_TRUE(c->IsConnectedTo(connected));
+}
+
+TEST(ContextVecTest, FromBitStringRejectsBadInput) {
+  EXPECT_FALSE(ContextVec::FromBitString("10x").ok());
+  EXPECT_TRUE(ContextVec::FromBitString("").ok());
+  EXPECT_FALSE(ContextVec::FromBitString(std::string(300, '1')).ok());
+}
+
+TEST(ContextVecTest, HammingDistance) {
+  ContextVec a(70), b(70);
+  a.Set(0);
+  a.Set(69);
+  b.Set(0);
+  EXPECT_EQ(a.HammingDistance(b), 1u);
+  b.Set(33);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  EXPECT_EQ(a.HammingDistance(a), 0u);
+  EXPECT_FALSE(a.IsConnectedTo(b));
+}
+
+TEST(ContextVecTest, HashAndEqualityForContainers) {
+  std::unordered_set<ContextVec, ContextVecHash> set;
+  ContextVec a(10), b(10);
+  a.Set(3);
+  b.Set(3);
+  set.insert(a);
+  EXPECT_EQ(set.count(b), 1u);
+  b.Set(4);
+  EXPECT_EQ(set.count(b), 0u);
+  // Different lengths are never equal, even with identical words.
+  ContextVec c10(10), c11(11);
+  EXPECT_FALSE(c10 == c11);
+}
+
+TEST(ContextVecTest, OrderingIsStrictWeak) {
+  ContextVec a(8), b(8);
+  a.Set(0);
+  b.Set(1);
+  EXPECT_TRUE(a < b);       // bit 1 dominates bit 0 in word value
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(ContextVecTest, ForEachSetBitAscending) {
+  ContextVec c(130);
+  c.Set(1);
+  c.Set(64);
+  c.Set(129);
+  std::vector<size_t> bits;
+  c.ForEachSetBit([&](size_t b) { bits.push_back(b); });
+  EXPECT_EQ(bits, (std::vector<size_t>{1, 64, 129}));
+}
+
+TEST(ContextOpsTest, FullContextSetsEverything) {
+  Schema schema = testing_util::GridSchema();
+  ContextVec full = context_ops::FullContext(schema);
+  EXPECT_EQ(full.Weight(), schema.total_values());
+  EXPECT_TRUE(context_ops::HasAllAttributes(schema, full));
+}
+
+TEST(ContextOpsTest, ExactContextSelectsTheRecordsValues) {
+  auto grid = testing_util::MakeGridDataset();
+  const Schema& schema = grid.dataset.schema();
+  ContextVec exact =
+      context_ops::ExactContext(schema, grid.dataset, grid.v_row);
+  EXPECT_EQ(exact.Weight(), schema.num_attributes());
+  EXPECT_TRUE(
+      context_ops::ContainsRow(schema, grid.dataset, grid.v_row, exact));
+  // V is (a0, b0): bits 0 and 3.
+  EXPECT_TRUE(exact.Test(0));
+  EXPECT_TRUE(exact.Test(3));
+}
+
+TEST(ContextOpsTest, ContainsRowRequiresEveryAttribute) {
+  auto grid = testing_util::MakeGridDataset();
+  const Schema& schema = grid.dataset.schema();
+  ContextVec c(schema.total_values());
+  c.Set(0);  // a0 only; B attribute unset
+  EXPECT_FALSE(
+      context_ops::ContainsRow(schema, grid.dataset, grid.v_row, c));
+  c.Set(3);  // b0
+  EXPECT_TRUE(context_ops::ContainsRow(schema, grid.dataset, grid.v_row, c));
+  // The first (a0, b1) row is outside the context (b1 not chosen).
+  const size_t a0_b1_row = 12;
+  ASSERT_EQ(grid.dataset.code(a0_b1_row, 1), 1u);
+  EXPECT_FALSE(
+      context_ops::ContainsRow(schema, grid.dataset, a0_b1_row, c));
+}
+
+TEST(ContextOpsTest, HasAllAttributesAndWeights) {
+  Schema schema = testing_util::GridSchema();
+  ContextVec c(schema.total_values());
+  EXPECT_FALSE(context_ops::HasAllAttributes(schema, c));
+  c.Set(0);
+  c.Set(1);
+  EXPECT_FALSE(context_ops::HasAllAttributes(schema, c));
+  EXPECT_EQ(context_ops::AttributeWeight(schema, c, 0), 2u);
+  EXPECT_EQ(context_ops::AttributeWeight(schema, c, 1), 0u);
+  c.Set(5);
+  EXPECT_TRUE(context_ops::HasAllAttributes(schema, c));
+}
+
+TEST(ContextOpsTest, DescribeRendersConjunctionOfDisjunctions) {
+  Schema schema = testing_util::GridSchema();
+  ContextVec c(schema.total_values());
+  c.Set(0);
+  c.Set(2);
+  c.Set(4);
+  std::string desc = context_ops::Describe(schema, c);
+  EXPECT_EQ(desc, "[A IN {a0, a2}] AND [B IN {b1}]");
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,90 @@
+#include "src/context/max_context.h"
+
+#include <gtest/gtest.h>
+
+#include "src/context/coe.h"
+#include "src/context/starting_context.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class MaxContextTest : public ::testing::Test {
+ protected:
+  MaxContextTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        index_(grid_.dataset),
+        detector_(testing_util::MakeTestDetector()),
+        verifier_(index_, detector_) {}
+
+  testing_util::GridData grid_;
+  PopulationIndex index_;
+  ZscoreDetector detector_;
+  OutlierVerifier verifier_;
+};
+
+TEST_F(MaxContextTest, FindsTheExactMaximumOnAnEnumerableInstance) {
+  // Ground truth via exhaustive enumeration.
+  auto coe = EnumerateCoe(verifier_, grid_.v_row);
+  ASSERT_TRUE(coe.ok());
+  ASSERT_FALSE(coe->empty());
+  size_t true_max = 0;
+  for (const auto& c : *coe) {
+    true_max = std::max(true_max, index_.PopulationCount(c));
+  }
+
+  MaxContextOptions options;
+  options.restarts = 6;
+  Rng rng(5);
+  auto found = FindMaxContext(verifier_, grid_.v_row, options, &rng);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  // On this small landscape hill climbing with restarts reaches the global
+  // maximum (the matching region is upward-connected by construction).
+  EXPECT_EQ(found->population, true_max);
+  EXPECT_TRUE(verifier_.IsOutlierInContext(found->context, grid_.v_row));
+  EXPECT_EQ(index_.PopulationCount(found->context), found->population);
+}
+
+TEST_F(MaxContextTest, ResultIsAlwaysAMatchingContext) {
+  MaxContextOptions options;
+  options.restarts = 3;
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    auto found = FindMaxContext(verifier_, grid_.v_row, options, &rng);
+    ASSERT_TRUE(found.ok());
+    EXPECT_TRUE(verifier_.IsOutlierInContext(found->context, grid_.v_row));
+  }
+}
+
+TEST_F(MaxContextTest, DominatesTheStartingContext) {
+  StartingContextOptions start_options;
+  start_options.pipeline = {StartingContextStrategy::kExactRecord};
+  Rng rng(9);
+  auto start =
+      FindStartingContext(verifier_, grid_.v_row, start_options, &rng);
+  ASSERT_TRUE(start.ok());
+  MaxContextOptions options;
+  auto found = FindMaxContext(verifier_, grid_.v_row, options, &rng);
+  ASSERT_TRUE(found.ok());
+  EXPECT_GE(found->population, index_.PopulationCount(*start));
+}
+
+TEST_F(MaxContextTest, InlierFails) {
+  MaxContextOptions options;
+  options.restarts = 2;
+  Rng rng(11);
+  auto found = FindMaxContext(verifier_, /*v_row=*/0, options, &rng);
+  EXPECT_TRUE(found.status().IsNoValidContext());
+}
+
+TEST_F(MaxContextTest, OutOfRangeRowRejected) {
+  MaxContextOptions options;
+  Rng rng(13);
+  EXPECT_TRUE(
+      FindMaxContext(verifier_, grid_.dataset.num_rows() + 1, options, &rng)
+          .status()
+          .IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,97 @@
+#include "src/context/starting_context.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class StartingContextTest : public ::testing::Test {
+ protected:
+  StartingContextTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        index_(grid_.dataset),
+        detector_(testing_util::MakeTestDetector()),
+        verifier_(index_, detector_) {}
+
+  testing_util::GridData grid_;
+  PopulationIndex index_;
+  ZscoreDetector detector_;
+  OutlierVerifier verifier_;
+};
+
+TEST_F(StartingContextTest, DefaultPipelineFindsAMatchingContext) {
+  Rng rng(3);
+  auto start =
+      FindStartingContext(verifier_, grid_.v_row, StartingContextOptions{},
+                          &rng);
+  ASSERT_TRUE(start.ok()) << start.status().ToString();
+  EXPECT_TRUE(verifier_.IsOutlierInContext(*start, grid_.v_row));
+}
+
+TEST_F(StartingContextTest, ExactRecordStrategyWorksWhenExactMatches) {
+  StartingContextOptions options;
+  options.pipeline = {StartingContextStrategy::kExactRecord};
+  Rng rng(5);
+  auto start = FindStartingContext(verifier_, grid_.v_row, options, &rng);
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(*start, context_ops::ExactContext(grid_.dataset.schema(),
+                                              grid_.dataset, grid_.v_row));
+}
+
+TEST_F(StartingContextTest, GreedyGrowIsDeterministic) {
+  StartingContextOptions options;
+  options.pipeline = {StartingContextStrategy::kGreedyGrow};
+  Rng rng1(1), rng2(2);
+  auto a = FindStartingContext(verifier_, grid_.v_row, options, &rng1);
+  auto b = FindStartingContext(verifier_, grid_.v_row, options, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // no randomness in greedy growth
+}
+
+TEST_F(StartingContextTest, RandomValidFindsContextContainingV) {
+  StartingContextOptions options;
+  options.pipeline = {StartingContextStrategy::kRandomValid};
+  options.random_attempts = 256;
+  Rng rng(7);
+  auto start = FindStartingContext(verifier_, grid_.v_row, options, &rng);
+  ASSERT_TRUE(start.ok());
+  EXPECT_TRUE(context_ops::ContainsRow(grid_.dataset.schema(), grid_.dataset,
+                                       grid_.v_row, *start));
+}
+
+TEST_F(StartingContextTest, NonOutlierRowFailsWithNoValidContext) {
+  Rng rng(9);
+  auto start =
+      FindStartingContext(verifier_, /*v_row=*/0, StartingContextOptions{},
+                          &rng);
+  EXPECT_TRUE(start.status().IsNoValidContext());
+}
+
+TEST_F(StartingContextTest, OutOfRangeRowIsRejected) {
+  Rng rng(11);
+  auto start = FindStartingContext(verifier_, grid_.dataset.num_rows() + 1,
+                                   StartingContextOptions{}, &rng);
+  EXPECT_TRUE(start.status().IsOutOfRange());
+}
+
+TEST_F(StartingContextTest, FullDomainStrategyChecksTheFullContext) {
+  StartingContextOptions options;
+  options.pipeline = {StartingContextStrategy::kFullDomain};
+  Rng rng(13);
+  auto start = FindStartingContext(verifier_, grid_.v_row, options, &rng);
+  // On the spread grid the full-domain context includes the wild group, so
+  // whether it matches depends on the detector; either way, if it returns a
+  // context it must be the full one and matching.
+  if (start.ok()) {
+    EXPECT_EQ(*start, context_ops::FullContext(grid_.dataset.schema()));
+    EXPECT_TRUE(verifier_.IsOutlierInContext(*start, grid_.v_row));
+  } else {
+    EXPECT_TRUE(start.status().IsNoValidContext());
+  }
+}
+
+}  // namespace
+}  // namespace pcor

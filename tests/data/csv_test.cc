@@ -1,0 +1,103 @@
+#include "src/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/pcor_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripPreservesData) {
+  Dataset d(testing_util::GridSchema());
+  ASSERT_TRUE(d.AppendRow({0, 1}, 100.25).ok());
+  ASSERT_TRUE(d.AppendRow({2, 2}, -3.5).ok());
+  ASSERT_TRUE(csv::WriteDataset(d, path_).ok());
+  auto loaded = csv::ReadDataset(d.schema(), path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->code(0, 1), 1u);
+  EXPECT_EQ(loaded->code(1, 0), 2u);
+  EXPECT_DOUBLE_EQ(loaded->metric(0), 100.25);
+  EXPECT_DOUBLE_EQ(loaded->metric(1), -3.5);
+}
+
+TEST_F(CsvTest, QuotedFieldsRoundTrip) {
+  Schema schema;
+  schema.AddAttribute("Name", {"plain", "has,comma", "has\"quote"})
+      .CheckOK();
+  Dataset d(schema);
+  ASSERT_TRUE(d.AppendRow({1}, 1.0).ok());
+  ASSERT_TRUE(d.AppendRow({2}, 2.0).ok());
+  ASSERT_TRUE(csv::WriteDataset(d, path_).ok());
+  auto loaded = csv::ReadDataset(schema, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->code(0, 0), 1u);
+  EXPECT_EQ(loaded->code(1, 0), 2u);
+}
+
+TEST_F(CsvTest, RejectsUnknownDomainValue) {
+  std::ofstream out(path_);
+  out << "A,B,value\nnot_in_domain,b0,1.0\n";
+  out.close();
+  auto loaded = csv::ReadDataset(testing_util::GridSchema(), path_);
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST_F(CsvTest, RejectsBadHeader) {
+  std::ofstream out(path_);
+  out << "X,B,value\na0,b0,1.0\n";
+  out.close();
+  auto loaded = csv::ReadDataset(testing_util::GridSchema(), path_);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, RejectsNonNumericMetric) {
+  std::ofstream out(path_);
+  out << "A,B,value\na0,b0,abc\n";
+  out.close();
+  auto loaded = csv::ReadDataset(testing_util::GridSchema(), path_);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, RejectsWrongFieldCount) {
+  std::ofstream out(path_);
+  out << "A,B,value\na0,b0\n";
+  out.close();
+  auto loaded = csv::ReadDataset(testing_util::GridSchema(), path_);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  auto loaded =
+      csv::ReadDataset(testing_util::GridSchema(), "/nonexistent/x.csv");
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST(CsvLineTest, ParseLineHandlesQuotes) {
+  auto fields = csv::ParseLine("a,\"b,c\",\"d\"\"e\"", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(CsvLineTest, EscapeFieldQuotesWhenNeeded) {
+  EXPECT_EQ(csv::EscapeField("plain", ','), "plain");
+  EXPECT_EQ(csv::EscapeField("a,b", ','), "\"a,b\"");
+  EXPECT_EQ(csv::EscapeField("a\"b", ','), "\"a\"\"b\"");
+}
+
+}  // namespace
+}  // namespace pcor

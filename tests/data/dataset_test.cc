@@ -1,0 +1,81 @@
+#include "src/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+TEST(DatasetTest, AppendAndRead) {
+  Dataset d(testing_util::GridSchema());
+  ASSERT_TRUE(d.AppendRow({0, 1}, 100.0).ok());
+  ASSERT_TRUE(d.AppendRow({2, 2}, 200.0).ok());
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.code(0, 1), 1u);
+  EXPECT_EQ(d.code(1, 0), 2u);
+  EXPECT_DOUBLE_EQ(d.metric(1), 200.0);
+}
+
+TEST(DatasetTest, RejectsWrongArityAndBadCodes) {
+  Dataset d(testing_util::GridSchema());
+  EXPECT_TRUE(d.AppendRow({0}, 1.0).IsInvalidArgument());
+  EXPECT_TRUE(d.AppendRow({0, 3}, 1.0).IsOutOfRange());
+  EXPECT_EQ(d.num_rows(), 0u);
+}
+
+TEST(DatasetTest, AppendRowByName) {
+  Dataset d(testing_util::GridSchema());
+  ASSERT_TRUE(d.AppendRowByName({"a1", "b2"}, 5.0).ok());
+  EXPECT_EQ(d.code(0, 0), 1u);
+  EXPECT_EQ(d.code(0, 1), 2u);
+  EXPECT_TRUE(d.AppendRowByName({"a1", "nope"}, 5.0).IsNotFound());
+  EXPECT_TRUE(d.AppendRowByName({"a1"}, 5.0).IsInvalidArgument());
+}
+
+TEST(DatasetTest, GetRowMaterializes) {
+  Dataset d(testing_util::GridSchema());
+  ASSERT_TRUE(d.AppendRow({1, 0}, 42.0).ok());
+  Row row = d.GetRow(0);
+  EXPECT_EQ(row.codes, (std::vector<uint32_t>{1, 0}));
+  EXPECT_DOUBLE_EQ(row.metric, 42.0);
+}
+
+TEST(DatasetTest, SelectRowsKeepsOrder) {
+  Dataset d(testing_util::GridSchema());
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(d.AppendRow({i % 3, i % 3}, i).ok());
+  }
+  auto sel = d.SelectRows({1, 3});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel->metric(0), 1.0);
+  EXPECT_DOUBLE_EQ(sel->metric(1), 3.0);
+  EXPECT_TRUE(d.SelectRows({9}).status().IsOutOfRange());
+}
+
+TEST(DatasetTest, RemoveRowsDeduplicatesAndValidates) {
+  Dataset d(testing_util::GridSchema());
+  for (uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(d.AppendRow({0, 0}, i).ok());
+  }
+  auto removed = d.RemoveRows({1, 1, 4});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(removed->metric(0), 0.0);
+  EXPECT_DOUBLE_EQ(removed->metric(1), 2.0);
+  EXPECT_DOUBLE_EQ(removed->metric(3), 5.0);
+  EXPECT_TRUE(d.RemoveRows({6}).status().IsOutOfRange());
+}
+
+TEST(DatasetTest, DescribeRowIsHumanReadable) {
+  Dataset d(testing_util::GridSchema());
+  ASSERT_TRUE(d.AppendRow({0, 2}, 123.5).ok());
+  std::string desc = d.DescribeRow(0);
+  EXPECT_NE(desc.find("A=a0"), std::string::npos);
+  EXPECT_NE(desc.find("B=b2"), std::string::npos);
+  EXPECT_NE(desc.find("value=123.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcor

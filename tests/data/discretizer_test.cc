@@ -1,0 +1,77 @@
+#include "src/data/discretizer.h"
+
+#include <gtest/gtest.h>
+
+namespace pcor {
+namespace {
+
+TEST(DiscretizerTest, EqualWidthBuckets) {
+  auto d = Discretizer::EqualWidth(0.0, 10.0, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 5u);
+  EXPECT_EQ(d->Bucket(0.0), 0u);
+  EXPECT_EQ(d->Bucket(1.99), 0u);
+  EXPECT_EQ(d->Bucket(2.0), 1u);
+  EXPECT_EQ(d->Bucket(9.99), 4u);
+}
+
+TEST(DiscretizerTest, ClampsOutOfRange) {
+  auto d = Discretizer::EqualWidth(0.0, 10.0, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Bucket(-100.0), 0u);
+  EXPECT_EQ(d->Bucket(100.0), 4u);
+  EXPECT_EQ(d->Bucket(10.0), 4u);  // right edge joins last bucket
+}
+
+TEST(DiscretizerTest, LabelsDescribeRanges) {
+  auto d = Discretizer::EqualWidth(0.0, 4.0, 2);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->labels().size(), 2u);
+  EXPECT_EQ(d->labels()[0], "[0, 2)");
+  EXPECT_EQ(d->labels()[1], "[2, 4)");
+}
+
+TEST(DiscretizerTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(Discretizer::EqualWidth(0.0, 10.0, 0).ok());
+  EXPECT_FALSE(Discretizer::EqualWidth(5.0, 5.0, 3).ok());
+  EXPECT_FALSE(Discretizer::Quantile({1.0}, 2).ok());
+  EXPECT_FALSE(Discretizer::Quantile({1.0, 1.0, 1.0}, 2).ok());
+}
+
+TEST(DiscretizerTest, QuantileBucketsBalanceMass) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  auto d = Discretizer::Quantile(values, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_buckets(), 4u);
+  std::vector<size_t> counts(d->num_buckets(), 0);
+  for (double v : values) ++counts[d->Bucket(v)];
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 250.0, 3.0);
+  }
+}
+
+TEST(DiscretizerTest, QuantileCollapsesDuplicateCuts) {
+  // Heavily repeated values: 900 zeros and 100 ascending values.
+  std::vector<double> values(900, 0.0);
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  auto d = Discretizer::Quantile(values, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(d->num_buckets(), 10u);  // duplicate cut points collapsed
+  EXPECT_GE(d->num_buckets(), 1u);
+  EXPECT_EQ(d->Bucket(0.0), 0u);
+}
+
+TEST(DiscretizerTest, BucketIsMonotoneInInput) {
+  auto d = Discretizer::Quantile({1, 5, 7, 9, 22, 30, 31, 90}, 3);
+  ASSERT_TRUE(d.ok());
+  uint32_t prev = 0;
+  for (double x = 0.0; x < 100.0; x += 0.5) {
+    uint32_t b = d->Bucket(x);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace pcor

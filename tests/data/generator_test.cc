@@ -1,0 +1,178 @@
+#include "src/data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/data/homicide_generator.h"
+#include "src/data/salary_generator.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+MixtureGeneratorConfig SmallConfig() {
+  MixtureGeneratorConfig config;
+  config.schema = testing_util::GridSchema();
+  config.num_rows = 500;
+  config.seed = 11;
+  config.num_planted = 10;
+  config.metric_model = MetricModel::kTruncatedNormal;
+  config.base_mean = 100.0;
+  config.value_effect_scale = 5.0;
+  config.noise_sigma = 2.0;
+  config.metric_lo = 0.0;
+  config.metric_hi = 1000.0;
+  return config;
+}
+
+TEST(MixtureGeneratorTest, ProducesRequestedShape) {
+  auto data = GenerateMixtureData(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dataset.num_rows(), 500u);
+  EXPECT_EQ(data->planted_outlier_rows.size(), 10u);
+  for (uint32_t row : data->planted_outlier_rows) {
+    EXPECT_LT(row, 500u);
+  }
+  EXPECT_TRUE(std::is_sorted(data->planted_outlier_rows.begin(),
+                             data->planted_outlier_rows.end()));
+}
+
+TEST(MixtureGeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateMixtureData(SmallConfig());
+  auto b = GenerateMixtureData(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->dataset.num_rows(), b->dataset.num_rows());
+  for (size_t i = 0; i < a->dataset.num_rows(); ++i) {
+    EXPECT_EQ(a->dataset.code(i, 0), b->dataset.code(i, 0));
+    EXPECT_DOUBLE_EQ(a->dataset.metric(i), b->dataset.metric(i));
+  }
+  EXPECT_EQ(a->planted_outlier_rows, b->planted_outlier_rows);
+}
+
+TEST(MixtureGeneratorTest, SeedsChangeTheData) {
+  auto a = GenerateMixtureData(SmallConfig());
+  auto config = SmallConfig();
+  config.seed = 12;
+  auto b = GenerateMixtureData(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t diff = 0;
+  for (size_t i = 0; i < a->dataset.num_rows(); ++i) {
+    if (a->dataset.metric(i) != b->dataset.metric(i)) ++diff;
+  }
+  EXPECT_GT(diff, 100u);
+}
+
+TEST(MixtureGeneratorTest, MetricRespectsClamps) {
+  auto data = GenerateMixtureData(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < data->dataset.num_rows(); ++i) {
+    EXPECT_GE(data->dataset.metric(i), 0.0);
+    EXPECT_LE(data->dataset.metric(i), 1000.0);
+  }
+}
+
+TEST(MixtureGeneratorTest, RejectsBadConfigs) {
+  auto config = SmallConfig();
+  config.num_rows = 0;
+  EXPECT_FALSE(GenerateMixtureData(config).ok());
+  config = SmallConfig();
+  config.num_planted = 501;
+  EXPECT_FALSE(GenerateMixtureData(config).ok());
+  config = SmallConfig();
+  config.schema = Schema();
+  EXPECT_FALSE(GenerateMixtureData(config).ok());
+}
+
+TEST(MixtureGeneratorTest, ZipfWeightsAreSkewedAndShuffled) {
+  Rng rng(5);
+  auto w = internal::ZipfWeights(8, 1.0, &rng);
+  ASSERT_EQ(w.size(), 8u);
+  auto sorted = w;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  EXPECT_DOUBLE_EQ(sorted[0], 1.0);
+  EXPECT_DOUBLE_EQ(sorted[7], 1.0 / 8.0);
+}
+
+TEST(SalaryGeneratorTest, ReducedSpecMatchesPaperShape) {
+  SalaryDatasetSpec spec = ReducedSalarySpec();
+  Schema schema = SalarySchema(spec);
+  // The paper's reduced salary dataset: 11,000 rows, 3 attributes, 14
+  // attribute values in total (Section 6.7).
+  EXPECT_EQ(spec.num_rows, 11000u);
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.total_values(), 14u);
+}
+
+TEST(SalaryGeneratorTest, FullSpecMatchesPaperShape) {
+  SalaryDatasetSpec spec = FullSalarySpec();
+  Schema schema = SalarySchema(spec);
+  EXPECT_EQ(spec.num_rows, 51000u);
+  EXPECT_EQ(schema.total_values(), 25u);  // 9 + 8 + 8
+  EXPECT_EQ(schema.metric_name(), "Salary");
+}
+
+TEST(SalaryGeneratorTest, SalariesRespectTheHundredKFloor) {
+  SalaryDatasetSpec spec = ReducedSalarySpec();
+  spec.num_rows = 2000;
+  spec.num_planted = 10;
+  auto data = GenerateSalaryDataset(spec);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < data->dataset.num_rows(); ++i) {
+    EXPECT_GE(data->dataset.metric(i), 100000.0);
+  }
+}
+
+TEST(HomicideGeneratorTest, ReducedSpecMatchesPaperShape) {
+  HomicideDatasetSpec spec = ReducedHomicideSpec();
+  Schema schema = HomicideSchema(spec);
+  // 28,000 rows, 3 attributes, 12 attribute values (Section 6.7).
+  EXPECT_EQ(spec.num_rows, 28000u);
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.total_values(), 12u);
+}
+
+TEST(HomicideGeneratorTest, AgesStayInRange) {
+  HomicideDatasetSpec spec = ReducedHomicideSpec();
+  spec.num_rows = 2000;
+  spec.num_planted = 10;
+  auto data = GenerateHomicideDataset(spec);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < data->dataset.num_rows(); ++i) {
+    EXPECT_GE(data->dataset.metric(i), 0.0);
+    EXPECT_LE(data->dataset.metric(i), 99.0);
+  }
+}
+
+TEST(GeneratorPlantingTest, PlantedRowsAreGroupExtreme) {
+  auto config = SmallConfig();
+  config.num_rows = 3000;
+  config.num_planted = 30;
+  auto data = GenerateMixtureData(config);
+  ASSERT_TRUE(data.ok());
+  const Dataset& d = data->dataset;
+  // For each planted row, its metric should exceed the mean of its exact
+  // attribute group by a wide margin (it was planted at +4.5 sigma).
+  size_t clearly_extreme = 0;
+  for (uint32_t row : data->planted_outlier_rows) {
+    double sum = 0;
+    size_t count = 0;
+    for (size_t i = 0; i < d.num_rows(); ++i) {
+      if (d.code(i, 0) == d.code(row, 0) && d.code(i, 1) == d.code(row, 1) &&
+          i != row) {
+        sum += d.metric(i);
+        ++count;
+      }
+    }
+    if (count < 5) continue;
+    if (d.metric(row) > sum / count + 2.0 * config.noise_sigma) {
+      ++clearly_extreme;
+    }
+  }
+  EXPECT_GT(clearly_extreme, data->planted_outlier_rows.size() / 2);
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,100 @@
+#include "src/data/neighbor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+TEST(NeighborTest, RemoveModeDropsExactlyDelta) {
+  auto grid = testing_util::MakeGridDataset();
+  Rng rng(3);
+  NeighborOptions options;
+  options.mode = NeighborMode::kRemove;
+  options.delta = 5;
+  auto neighbor = MakeNeighbor(grid.dataset, options, &rng);
+  ASSERT_TRUE(neighbor.ok());
+  EXPECT_EQ(neighbor->dataset.num_rows(), grid.dataset.num_rows() - 5);
+  EXPECT_EQ(neighbor->changed_rows.size(), 5u);
+}
+
+TEST(NeighborTest, ProtectedRowsSurvive) {
+  auto grid = testing_util::MakeGridDataset();
+  Rng rng(7);
+  NeighborOptions options;
+  options.delta = 10;
+  options.protected_rows = {grid.v_row};
+  for (int trial = 0; trial < 20; ++trial) {
+    auto neighbor = MakeNeighbor(grid.dataset, options, &rng);
+    ASSERT_TRUE(neighbor.ok());
+    const uint32_t mapped = neighbor->row_mapping[grid.v_row];
+    ASSERT_NE(mapped, UINT32_MAX);
+    EXPECT_DOUBLE_EQ(neighbor->dataset.metric(mapped),
+                     grid.dataset.metric(grid.v_row));
+  }
+}
+
+TEST(NeighborTest, RowMappingIsConsistent) {
+  auto grid = testing_util::MakeGridDataset();
+  Rng rng(11);
+  NeighborOptions options;
+  options.delta = 7;
+  auto neighbor = MakeNeighbor(grid.dataset, options, &rng);
+  ASSERT_TRUE(neighbor.ok());
+  size_t mapped = 0;
+  for (uint32_t row = 0; row < grid.dataset.num_rows(); ++row) {
+    const uint32_t new_row = neighbor->row_mapping[row];
+    if (new_row == UINT32_MAX) continue;
+    ++mapped;
+    EXPECT_DOUBLE_EQ(neighbor->dataset.metric(new_row),
+                     grid.dataset.metric(row));
+    for (size_t a = 0; a < grid.dataset.num_attributes(); ++a) {
+      EXPECT_EQ(neighbor->dataset.code(new_row, a),
+                grid.dataset.code(row, a));
+    }
+  }
+  EXPECT_EQ(mapped, neighbor->dataset.num_rows());
+}
+
+TEST(NeighborTest, ReplaceModeKeepsSizeAndChangesOnlyVictims) {
+  auto grid = testing_util::MakeGridDataset();
+  Rng rng(13);
+  NeighborOptions options;
+  options.mode = NeighborMode::kReplace;
+  options.delta = 3;
+  auto neighbor = MakeNeighbor(grid.dataset, options, &rng);
+  ASSERT_TRUE(neighbor.ok());
+  EXPECT_EQ(neighbor->dataset.num_rows(), grid.dataset.num_rows());
+  std::set<uint32_t> victims(neighbor->changed_rows.begin(),
+                             neighbor->changed_rows.end());
+  for (uint32_t row = 0; row < grid.dataset.num_rows(); ++row) {
+    if (victims.count(row)) continue;
+    EXPECT_DOUBLE_EQ(neighbor->dataset.metric(row), grid.dataset.metric(row));
+  }
+}
+
+TEST(NeighborTest, RejectsImpossibleRequests) {
+  auto grid = testing_util::MakeGridDataset(/*per_group=*/1);
+  Rng rng(17);
+  NeighborOptions options;
+  options.delta = 0;
+  EXPECT_FALSE(MakeNeighbor(grid.dataset, options, &rng).ok());
+  options.delta = grid.dataset.num_rows() + 1;
+  EXPECT_FALSE(MakeNeighbor(grid.dataset, options, &rng).ok());
+}
+
+TEST(NeighborTest, DeterministicGivenRngState) {
+  auto grid = testing_util::MakeGridDataset();
+  NeighborOptions options;
+  options.delta = 4;
+  Rng rng1(42), rng2(42);
+  auto n1 = MakeNeighbor(grid.dataset, options, &rng1);
+  auto n2 = MakeNeighbor(grid.dataset, options, &rng2);
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n1->changed_rows, n2->changed_rows);
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,61 @@
+#include "src/dp/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcor {
+namespace {
+
+TEST(LaplaceMechanismTest, NoiseIsCenteredOnTheValue) {
+  LaplaceMechanism mech(/*epsilon=*/1.0, /*sensitivity=*/1.0);
+  Rng rng(3);
+  const size_t n = 200000;
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += mech.AddNoise(10.0, &rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, VarianceMatchesScale) {
+  // Lap(b) variance is 2*b^2 with b = sensitivity / epsilon.
+  const double eps = 0.5, sens = 2.0;
+  LaplaceMechanism mech(eps, sens);
+  Rng rng(7);
+  const size_t n = 200000;
+  double sq = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double noise = mech.AddNoise(0.0, &rng);
+    sq += noise * noise;
+  }
+  const double b = sens / eps;
+  EXPECT_NEAR(sq / n, 2.0 * b * b, 1.5);
+}
+
+TEST(LaplaceMechanismTest, SmallerEpsilonMeansMoreNoise) {
+  Rng rng1(9), rng2(9);
+  LaplaceMechanism tight(10.0, 1.0);
+  LaplaceMechanism loose(0.1, 1.0);
+  double tight_abs = 0, loose_abs = 0;
+  for (int i = 0; i < 20000; ++i) {
+    tight_abs += std::abs(tight.AddNoise(0.0, &rng1));
+    loose_abs += std::abs(loose.AddNoise(0.0, &rng2));
+  }
+  EXPECT_LT(tight_abs, loose_abs);
+}
+
+TEST(LaplaceMechanismTest, NoisyCountIsNonNegative) {
+  LaplaceMechanism mech(0.05, 1.0);  // very noisy
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(mech.NoisyCount(2, &rng), 0.0);
+  }
+}
+
+TEST(LaplaceMechanismTest, ExposesParameters) {
+  LaplaceMechanism mech(0.25, 3.0);
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 0.25);
+  EXPECT_DOUBLE_EQ(mech.sensitivity(), 3.0);
+}
+
+}  // namespace
+}  // namespace pcor

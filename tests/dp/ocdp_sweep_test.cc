@@ -1,0 +1,58 @@
+// Parameterized sweep of the OCDP bound: on f-neighboring datasets (equal
+// COE sets) the direct mechanism's selection-probability ratio must stay
+// within e^{2*eps1} for every eps1 — Theorem 4.1 as a property test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/neighbor.h"
+#include "src/dp/ocdp.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class OcdpEpsilonSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OcdpEpsilonSweepTest, TheoremBoundHoldsOnFNeighbors) {
+  const double eps1 = GetParam();
+  auto grid = testing_util::MakeSpreadGridDataset(/*per_group=*/12);
+  PopulationIndex index(grid.dataset);
+  ZscoreDetector detector = testing_util::MakeTestDetector();
+  OutlierVerifier verifier(index, detector);
+
+  Rng rng(static_cast<uint64_t>(eps1 * 1e6) + 3);
+  NeighborOptions options;
+  options.delta = 1;
+  options.protected_rows = {grid.v_row};
+
+  size_t equal_pairs = 0;
+  for (int trial = 0; trial < 12 && equal_pairs < 5; ++trial) {
+    auto neighbor = MakeNeighbor(grid.dataset, options, &rng);
+    ASSERT_TRUE(neighbor.ok());
+    PopulationIndex index2(neighbor->dataset);
+    OutlierVerifier verifier2(index2, detector);
+    auto result = MeasureEmpiricalPrivacy(verifier, verifier2, grid.v_row,
+                                          neighbor->row_mapping[grid.v_row],
+                                          eps1);
+    ASSERT_TRUE(result.ok());
+    if (!result->coe_equal) continue;
+    ++equal_pairs;
+    EXPECT_DOUBLE_EQ(result->epsilon_bound, 2.0 * eps1);
+    EXPECT_LE(result->max_ratio, std::exp(2.0 * eps1) * (1 + 1e-9))
+        << "eps1=" << eps1 << " trial=" << trial;
+  }
+  EXPECT_GE(equal_pairs, 3u)
+      << "too few f-neighbor pairs to exercise the bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonGrid, OcdpEpsilonSweepTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "eps1_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,115 @@
+#include "src/dp/ocdp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/neighbor.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class OcdpTest : public ::testing::Test {
+ protected:
+  OcdpTest()
+      : grid_(testing_util::MakeSpreadGridDataset(/*per_group=*/8)),
+        index_(grid_.dataset),
+        detector_(testing_util::MakeTestDetector()),
+        verifier_(index_, detector_) {}
+
+  testing_util::GridData grid_;
+  PopulationIndex index_;
+  ZscoreDetector detector_;
+  OutlierVerifier verifier_;
+};
+
+TEST_F(OcdpTest, IdenticalDatasetsHaveRatioOne) {
+  auto result =
+      MeasureEmpiricalPrivacy(verifier_, verifier_, grid_.v_row, grid_.v_row,
+                              /*eps1=*/0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->coe_equal);
+  EXPECT_NEAR(result->max_ratio, 1.0, 1e-9);
+  EXPECT_TRUE(result->within_bound);
+  EXPECT_DOUBLE_EQ(result->epsilon_bound, 0.2);
+}
+
+TEST_F(OcdpTest, NeighborAtDistanceOneStaysWithinTheBound) {
+  // Remove one random non-V record and measure the selection-probability
+  // ratio over the shared contexts — the Section 6.7(ii) experiment.
+  Rng rng(5);
+  NeighborOptions options;
+  options.delta = 1;
+  options.protected_rows = {grid_.v_row};
+  for (int trial = 0; trial < 10; ++trial) {
+    auto neighbor = MakeNeighbor(grid_.dataset, options, &rng);
+    ASSERT_TRUE(neighbor.ok());
+    PopulationIndex index2(neighbor->dataset);
+    OutlierVerifier verifier2(index2, detector_);
+    const uint32_t row2 = neighbor->row_mapping[grid_.v_row];
+    ASSERT_NE(row2, UINT32_MAX);
+    auto result = MeasureEmpiricalPrivacy(verifier_, verifier2, grid_.v_row,
+                                          row2, /*eps1=*/0.1);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->shared_contexts, 0u);
+    if (result->coe_equal) {
+      // When the OCDP f-neighbor condition holds, the e^{2*eps1} bound is a
+      // theorem (Theorem 4.1) — assert it strictly. When COE differs, the
+      // bound is only an empirical observation in the paper (Section
+      // 6.7(ii)); the benchmark reports it instead of asserting.
+      EXPECT_TRUE(result->within_bound)
+          << "trial " << trial << " ratio " << result->max_ratio << " bound "
+          << std::exp(result->epsilon_bound);
+    }
+  }
+}
+
+TEST_F(OcdpTest, CoeEqualityDetectedWhenCoeUnchanged) {
+  // Removing a row from the wild group far from V's contexts usually keeps
+  // COE(V) identical; verify the flag works in at least one direction by
+  // comparing the verifier with itself on a neighbor whose COE matches.
+  Rng rng(11);
+  NeighborOptions options;
+  options.delta = 1;
+  options.protected_rows = {grid_.v_row};
+  size_t equal_seen = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto neighbor = MakeNeighbor(grid_.dataset, options, &rng);
+    ASSERT_TRUE(neighbor.ok());
+    PopulationIndex index2(neighbor->dataset);
+    OutlierVerifier verifier2(index2, detector_);
+    auto result = MeasureEmpiricalPrivacy(
+        verifier_, verifier2, grid_.v_row,
+        neighbor->row_mapping[grid_.v_row], /*eps1=*/0.1);
+    ASSERT_TRUE(result.ok());
+    if (result->coe_equal) {
+      ++equal_seen;
+      EXPECT_DOUBLE_EQ(result->match.jaccard, 1.0);
+    }
+  }
+  // On this tight synthetic dataset most single-record removals preserve
+  // COE (the paper's Tables 12/13 report 89-99.8% at delta = 1).
+  EXPECT_GT(equal_seen, 10u);
+}
+
+TEST_F(OcdpTest, GroupPrivacyDegradesGracefully) {
+  // Larger deltas may change COE more; the measurement must still work.
+  Rng rng(13);
+  NeighborOptions options;
+  options.delta = 10;
+  options.protected_rows = {grid_.v_row};
+  auto neighbor = MakeNeighbor(grid_.dataset, options, &rng);
+  ASSERT_TRUE(neighbor.ok());
+  PopulationIndex index2(neighbor->dataset);
+  OutlierVerifier verifier2(index2, detector_);
+  auto result = MeasureEmpiricalPrivacy(verifier_, verifier2, grid_.v_row,
+                                        neighbor->row_mapping[grid_.v_row],
+                                        /*eps1=*/0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->match.jaccard, 1.0);
+  EXPECT_GE(result->match.jaccard, 0.0);
+}
+
+}  // namespace
+}  // namespace pcor

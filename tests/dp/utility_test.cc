@@ -1,0 +1,113 @@
+#include "src/dp/utility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class UtilityTest : public ::testing::Test {
+ protected:
+  UtilityTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        index_(grid_.dataset),
+        detector_(testing_util::MakeTestDetector()),
+        verifier_(index_, detector_) {}
+
+  testing_util::GridData grid_;
+  PopulationIndex index_;
+  ZscoreDetector detector_;
+  OutlierVerifier verifier_;
+};
+
+TEST_F(UtilityTest, PopulationSizeScoresMatchingContexts) {
+  PopulationSizeUtility utility(verifier_);
+  ContextVec exact = context_ops::ExactContext(grid_.dataset.schema(),
+                                               grid_.dataset, grid_.v_row);
+  ASSERT_TRUE(verifier_.IsOutlierInContext(exact, grid_.v_row));
+  EXPECT_DOUBLE_EQ(utility.Score(exact, grid_.v_row),
+                   static_cast<double>(index_.PopulationCount(exact)));
+  EXPECT_EQ(utility.name(), "population_size");
+  EXPECT_DOUBLE_EQ(utility.sensitivity(), 1.0);
+}
+
+TEST_F(UtilityTest, NonMatchingContextScoresNegativeInfinity) {
+  PopulationSizeUtility utility(verifier_);
+  ContextVec c(grid_.dataset.schema().total_values());
+  c.Set(1);  // (a1, b1): V not contained
+  c.Set(4);
+  EXPECT_TRUE(std::isinf(utility.Score(c, grid_.v_row)));
+  EXPECT_LT(utility.Score(c, grid_.v_row), 0);
+}
+
+TEST_F(UtilityTest, OverlapScoresIntersectionWithStartingContext) {
+  ContextVec start = context_ops::ExactContext(grid_.dataset.schema(),
+                                               grid_.dataset, grid_.v_row);
+  OverlapUtility utility(verifier_, start);
+  // Overlap of the starting context with itself is its population.
+  EXPECT_DOUBLE_EQ(utility.Score(start, grid_.v_row),
+                   static_cast<double>(index_.PopulationCount(start)));
+  // A wider matching context still intersects in at most |D_start|.
+  ContextVec wider = start;
+  wider.Set(1);  // add a1
+  if (verifier_.IsOutlierInContext(wider, grid_.v_row)) {
+    EXPECT_DOUBLE_EQ(utility.Score(wider, grid_.v_row),
+                     static_cast<double>(index_.PopulationCount(start)));
+  }
+  EXPECT_EQ(utility.name(), "overlap");
+  EXPECT_EQ(utility.starting_context(), start);
+}
+
+TEST_F(UtilityTest, OverlapOfDisjointMatchingContextsIsCounted) {
+  ContextVec start = context_ops::ExactContext(grid_.dataset.schema(),
+                                               grid_.dataset, grid_.v_row);
+  OverlapUtility utility(verifier_, start);
+  // Context (a0|a1, b0) contains V and intersects start in the (a0,b0)
+  // group.
+  ContextVec c = start;
+  c.Set(1);
+  const double score = utility.Score(c, grid_.v_row);
+  if (std::isfinite(score)) {
+    EXPECT_DOUBLE_EQ(score, static_cast<double>(index_.OverlapCount(c, start)));
+  }
+}
+
+TEST_F(UtilityTest, FactoryBuildsBothKinds) {
+  ContextVec start = context_ops::ExactContext(grid_.dataset.schema(),
+                                               grid_.dataset, grid_.v_row);
+  auto pop = MakeUtility(UtilityKind::kPopulationSize, verifier_, start);
+  auto overlap = MakeUtility(UtilityKind::kOverlapWithStart, verifier_, start);
+  ASSERT_NE(pop, nullptr);
+  ASSERT_NE(overlap, nullptr);
+  EXPECT_EQ(pop->name(), "population_size");
+  EXPECT_EQ(overlap->name(), "overlap");
+  EXPECT_EQ(UtilityKindName(UtilityKind::kPopulationSize),
+            "population_size");
+  EXPECT_EQ(UtilityKindName(UtilityKind::kOverlapWithStart), "overlap");
+}
+
+TEST_F(UtilityTest, PopulationSensitivityHoldsOnNeighborDatasets) {
+  // Removing one non-V row changes |D_C| by at most 1 for every context —
+  // the sensitivity-1 claim of Section 3.2.1, verified empirically.
+  auto smaller = grid_.dataset.RemoveRows({0});
+  ASSERT_TRUE(smaller.ok());
+  PopulationIndex index2(*smaller);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    ContextVec c(grid_.dataset.schema().total_values());
+    for (size_t bit = 0; bit < c.num_bits(); ++bit) {
+      if (rng.NextBernoulli(0.5)) c.Set(bit);
+    }
+    const double before =
+        static_cast<double>(index_.PopulationCount(c));
+    const double after = static_cast<double>(index2.PopulationCount(c));
+    EXPECT_LE(std::abs(before - after), 1.0) << c.ToBitString();
+  }
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,53 @@
+#include "src/exp/report.h"
+
+#include <gtest/gtest.h>
+
+namespace pcor {
+namespace {
+
+TEST(TableRendererTest, AlignsColumns) {
+  TableRenderer table({"Algorithm", "Tavg"});
+  table.AddRow({"uniform", "97m"});
+  table.AddRow({"bfs", "37m"});
+  std::string out = table.Render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| Algorithm | Tavg |"), std::string::npos);
+  EXPECT_NE(out.find("| uniform"), std::string::npos);
+  // Every line has the same width.
+  size_t width = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TableRendererTest, ShortRowsArePadded) {
+  TableRenderer table({"A", "B", "C"});
+  table.AddRow({"x"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(ReportTest, FormatUtilityCiMatchesPaperStyle) {
+  ConfidenceInterval ci;
+  ci.mean = 0.90;
+  ci.lower = 0.88;
+  ci.upper = 0.93;
+  EXPECT_EQ(report::FormatUtilityCi(ci), "0.90 (0.88, 0.93)");
+}
+
+TEST(ReportTest, FormatRuntimeUsesHumanUnits) {
+  EXPECT_EQ(report::FormatRuntime(0.25), "250ms");
+  EXPECT_EQ(report::FormatRuntime(90.0), "1m 30.0s");
+}
+
+TEST(ReportTest, PrintHistogramDoesNotCrashOnEdgeCases) {
+  report::PrintHistogram("empty", {}, 0.0, 1.0, 4);
+  report::PrintHistogram("single", {0.5}, 0.0, 1.0, 4);
+}
+
+}  // namespace
+}  // namespace pcor

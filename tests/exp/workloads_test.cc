@@ -1,0 +1,68 @@
+#include "src/exp/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/context/starting_context.h"
+#include "src/outlier/lof.h"
+
+namespace pcor {
+namespace {
+
+TEST(WorkloadsTest, ReducedSalaryShapeMatchesPaper) {
+  auto workload = MakeReducedSalaryWorkload(/*scale=*/1.0);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->name, "salary_reduced");
+  EXPECT_EQ(workload->data.dataset.num_rows(), 11000u);
+  EXPECT_EQ(workload->data.dataset.schema().total_values(), 14u);
+  EXPECT_FALSE(workload->data.planted_outlier_rows.empty());
+}
+
+TEST(WorkloadsTest, ScaleShrinksRowsWithFloor) {
+  auto small = MakeReducedSalaryWorkload(/*scale=*/0.1);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->data.dataset.num_rows(), 1100u);
+  auto tiny = MakeReducedSalaryWorkload(/*scale=*/1e-6);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->data.dataset.num_rows(), 500u);  // floor
+}
+
+TEST(WorkloadsTest, ReducedHomicideShapeMatchesPaper) {
+  auto workload = MakeReducedHomicideWorkload(/*scale=*/0.25);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->data.dataset.schema().total_values(), 12u);
+  EXPECT_EQ(workload->data.dataset.num_rows(), 7000u);
+}
+
+TEST(WorkloadsTest, FullWorkloadsScale) {
+  auto salary = MakeFullSalaryWorkload(/*scale=*/0.02);
+  ASSERT_TRUE(salary.ok());
+  EXPECT_EQ(salary->data.dataset.num_rows(), 1020u);
+  EXPECT_EQ(salary->data.dataset.schema().total_values(), 25u);
+  auto homicide = MakeFullHomicideWorkload(/*scale=*/0.01);
+  ASSERT_TRUE(homicide.ok());
+  EXPECT_EQ(homicide->data.dataset.num_rows(), 1100u);
+  EXPECT_EQ(homicide->data.dataset.schema().total_values(), 16u);
+}
+
+TEST(WorkloadsTest, SelectQueryOutliersReturnsVerifiedOutliers) {
+  auto workload = MakeReducedSalaryWorkload(/*scale=*/0.2);
+  ASSERT_TRUE(workload.ok());
+  PopulationIndex index(workload->data.dataset);
+  LofOptions lof_options;
+  lof_options.k = 10;
+  LofDetector detector(lof_options);
+  OutlierVerifier verifier(index, detector);
+  Rng rng(3);
+  auto selected = SelectQueryOutliers(
+      verifier, workload->data.planted_outlier_rows, 5, &rng);
+  EXPECT_LE(selected.size(), 5u);
+  StartingContextOptions options;
+  for (uint32_t row : selected) {
+    Rng probe(7);
+    auto start = FindStartingContext(verifier, row, options, &probe);
+    EXPECT_TRUE(start.ok()) << row;
+  }
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,124 @@
+#include "src/outlier/detector_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/threading.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        index_(grid_.dataset),
+        detector_(testing_util::MakeTestDetector()) {}
+
+  ContextVec FullCtx() const {
+    return context_ops::FullContext(grid_.dataset.schema());
+  }
+
+  testing_util::GridData grid_;
+  PopulationIndex index_;
+  ZscoreDetector detector_;
+};
+
+TEST_F(VerifierTest, AgreesWithDirectDetectorRun) {
+  OutlierVerifier verifier(index_, detector_);
+  ContextVec full = FullCtx();
+  auto metric = index_.MetricOf(full);
+  auto rows = index_.RowIdsOf(full);
+  auto direct = detector_.Detect(metric);
+  auto cached = verifier.OutliersInContext(full);
+  ASSERT_EQ(cached->size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ((*cached)[i], rows[direct[i]]);
+  }
+}
+
+TEST_F(VerifierTest, MemoizesRepeatedQueries) {
+  OutlierVerifier verifier(index_, detector_);
+  ContextVec full = FullCtx();
+  verifier.OutliersInContext(full);
+  EXPECT_EQ(verifier.evaluations(), 1u);
+  verifier.OutliersInContext(full);
+  verifier.OutliersInContext(full);
+  EXPECT_EQ(verifier.evaluations(), 1u);
+  EXPECT_EQ(verifier.cache_hits(), 2u);
+}
+
+TEST_F(VerifierTest, RowOutsidePopulationIsNeverAnOutlier) {
+  OutlierVerifier verifier(index_, detector_);
+  ContextVec c(grid_.dataset.schema().total_values());
+  c.Set(1);  // a1
+  c.Set(4);  // b1
+  // V = (a0, b0) is not in this context; the fast path must not even run
+  // the detector.
+  EXPECT_FALSE(verifier.IsOutlierInContext(c, grid_.v_row));
+  EXPECT_EQ(verifier.evaluations(), 0u);
+}
+
+TEST_F(VerifierTest, ClearCacheForcesRecomputation) {
+  OutlierVerifier verifier(index_, detector_);
+  verifier.OutliersInContext(FullCtx());
+  verifier.ClearCache();
+  verifier.OutliersInContext(FullCtx());
+  EXPECT_EQ(verifier.evaluations(), 2u);
+}
+
+TEST_F(VerifierTest, CacheDisableAlwaysRecomputes) {
+  VerifierOptions options;
+  options.enable_cache = false;
+  OutlierVerifier verifier(index_, detector_, options);
+  verifier.OutliersInContext(FullCtx());
+  verifier.OutliersInContext(FullCtx());
+  EXPECT_EQ(verifier.evaluations(), 2u);
+  EXPECT_EQ(verifier.cache_hits(), 0u);
+}
+
+TEST_F(VerifierTest, CacheCapClearsWholesale) {
+  VerifierOptions options;
+  options.max_cache_entries = 4;
+  OutlierVerifier verifier(index_, detector_, options);
+  // Query more distinct contexts than the cap.
+  const size_t t = grid_.dataset.schema().total_values();
+  for (size_t bit = 0; bit < t; ++bit) {
+    ContextVec c = FullCtx();
+    c.Clear(bit);
+    verifier.OutliersInContext(c);
+  }
+  // Still answers correctly afterwards: agree with an uncached verifier.
+  VerifierOptions no_cache;
+  no_cache.enable_cache = false;
+  OutlierVerifier fresh(index_, detector_, no_cache);
+  EXPECT_EQ(*verifier.OutliersInContext(FullCtx()),
+            *fresh.OutliersInContext(FullCtx()));
+}
+
+TEST_F(VerifierTest, SmallPopulationGatedByDetectorMinPopulation) {
+  OutlierVerifier verifier(index_, detector_);
+  // A context with an empty attribute has population 0 — below any
+  // detector's min_population — and must report no outliers.
+  ContextVec c(grid_.dataset.schema().total_values());
+  c.Set(0);
+  auto outliers = verifier.OutliersInContext(c);  // population 0
+  EXPECT_TRUE(outliers->empty());
+}
+
+TEST_F(VerifierTest, ConcurrentQueriesAreConsistent) {
+  OutlierVerifier verifier(index_, detector_);
+  const auto expected = *verifier.OutliersInContext(FullCtx());
+  std::atomic<bool> mismatch{false};
+  ParallelFor(64, 8, [&](size_t i) {
+    ContextVec c = FullCtx();
+    if (i % 2 == 0) c.Clear(i % c.num_bits());
+    auto result = verifier.OutliersInContext(FullCtx());
+    if (*result != expected) mismatch.store(true);
+    verifier.IsOutlierInContext(c, grid_.v_row);
+  });
+  EXPECT_FALSE(mismatch.load());
+}
+
+}  // namespace
+}  // namespace pcor

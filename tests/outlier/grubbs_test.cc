@@ -1,0 +1,108 @@
+#include "src/outlier/grubbs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace pcor {
+namespace {
+
+GrubbsOptions SmallOptions() {
+  GrubbsOptions options;
+  options.alpha = 0.05;
+  options.max_iterations = 5;
+  options.min_population = 3;
+  return options;
+}
+
+TEST(GrubbsTest, FlagsAnObviousOutlier) {
+  GrubbsDetector detector(SmallOptions());
+  std::vector<double> values{8.0, 8.1, 7.9, 8.2, 8.0, 7.8, 8.1, 20.0};
+  auto flagged = detector.Detect(values);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 7u);
+  EXPECT_TRUE(detector.IsOutlier(values, 7));
+  EXPECT_FALSE(detector.IsOutlier(values, 0));
+}
+
+TEST(GrubbsTest, CleanSampleHasNoOutliers) {
+  GrubbsDetector detector(SmallOptions());
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.NextGaussian());
+  // A standard normal sample rarely exceeds the n=100 critical value
+  // (~3.38 sigma with this seed's draw).
+  auto flagged = detector.Detect(values);
+  EXPECT_LE(flagged.size(), 1u);
+}
+
+TEST(GrubbsTest, IterativeRemovalFindsMultipleOutliers) {
+  GrubbsDetector detector(SmallOptions());
+  std::vector<double> values{10.0, 10.1, 9.9, 10.2, 10.0, 9.8,
+                             10.1, 10.0, 50.0, -40.0};
+  auto flagged = detector.Detect(values);
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(flagged[0], 8u);
+  EXPECT_EQ(flagged[1], 9u);
+}
+
+TEST(GrubbsTest, MaxIterationsBoundsTheFlagCount) {
+  GrubbsOptions options = SmallOptions();
+  options.max_iterations = 1;
+  GrubbsDetector detector(options);
+  std::vector<double> values{10.0, 10.1, 9.9, 10.2, 10.0, 9.8,
+                             10.1, 10.0, 50.0, -40.0};
+  EXPECT_LE(detector.Detect(values).size(), 1u);
+}
+
+TEST(GrubbsTest, SmallPopulationsReportNothing) {
+  GrubbsOptions options = SmallOptions();
+  options.min_population = 8;
+  GrubbsDetector detector(options);
+  std::vector<double> values{1.0, 1.0, 100.0};
+  EXPECT_TRUE(detector.Detect(values).empty());
+  EXPECT_EQ(detector.min_population(), 8u);
+}
+
+TEST(GrubbsTest, ConstantSampleHasNoOutliers) {
+  GrubbsDetector detector(SmallOptions());
+  std::vector<double> values(20, 5.0);
+  EXPECT_TRUE(detector.Detect(values).empty());
+}
+
+TEST(GrubbsTest, AffineInvariance) {
+  // Grubbs' statistic is invariant under x -> a*x + b (a > 0).
+  GrubbsDetector detector(SmallOptions());
+  std::vector<double> values{3.0, 3.2, 2.9, 3.1, 3.0, 2.8, 3.05, 9.0, 3.1};
+  auto base = detector.Detect(values);
+  std::vector<double> scaled;
+  for (double v : values) scaled.push_back(250.0 * v - 17.0);
+  EXPECT_EQ(detector.Detect(scaled), base);
+}
+
+TEST(GrubbsTest, DeterministicAcrossCalls) {
+  GrubbsDetector detector(SmallOptions());
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 60; ++i) values.push_back(rng.NextGaussian());
+  values.push_back(8.0);
+  auto a = detector.Detect(values);
+  auto b = detector.Detect(values);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(GrubbsTest, AlphaControlsStrictness) {
+  // A borderline point flagged at alpha = 0.10 may survive alpha = 0.01.
+  std::vector<double> values{0.0, 0.1, -0.1, 0.2, -0.2, 0.15, -0.15, 0.62};
+  GrubbsOptions loose = SmallOptions();
+  loose.alpha = 0.10;
+  GrubbsOptions strict = SmallOptions();
+  strict.alpha = 0.001;
+  const auto loose_flags = GrubbsDetector(loose).Detect(values).size();
+  const auto strict_flags = GrubbsDetector(strict).Detect(values).size();
+  EXPECT_GE(loose_flags, strict_flags);
+}
+
+}  // namespace
+}  // namespace pcor

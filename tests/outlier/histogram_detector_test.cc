@@ -1,0 +1,94 @@
+#include "src/outlier/histogram_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace pcor {
+namespace {
+
+HistogramDetectorOptions SmallOptions() {
+  HistogramDetectorOptions options;
+  options.frequency_fraction = 0.01;  // scaled for small test populations
+  options.min_population = 16;
+  return options;
+}
+
+std::vector<double> ClusterWithOutlier(size_t n, double outlier) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (size_t i = 0; i < n; ++i) values.push_back(100.0 + rng.NextGaussian());
+  values.push_back(outlier);
+  return values;
+}
+
+TEST(HistogramDetectorTest, FlagsIsolatedPoint) {
+  HistogramDetector detector(SmallOptions());
+  auto values = ClusterWithOutlier(400, 200.0);
+  auto flagged = detector.Detect(values);
+  ASSERT_FALSE(flagged.empty());
+  EXPECT_TRUE(std::find(flagged.begin(), flagged.end(), values.size() - 1) !=
+              flagged.end());
+}
+
+TEST(HistogramDetectorTest, DensePointIsNotFlagged) {
+  HistogramDetector detector(SmallOptions());
+  auto values = ClusterWithOutlier(400, 200.0);
+  EXPECT_FALSE(detector.IsOutlier(values, 0));
+}
+
+TEST(HistogramDetectorTest, SmallPopulationsReportNothing) {
+  HistogramDetector detector(SmallOptions());
+  std::vector<double> values{1, 2, 3, 100};
+  EXPECT_TRUE(detector.Detect(values).empty());
+}
+
+TEST(HistogramDetectorTest, ConstantSampleHasNoOutliers) {
+  HistogramDetector detector(SmallOptions());
+  std::vector<double> values(100, 7.0);
+  EXPECT_TRUE(detector.Detect(values).empty());
+}
+
+TEST(HistogramDetectorTest, ShiftInvariance) {
+  // Equal-width binning over [min, max] is invariant under shifts.
+  HistogramDetector detector(SmallOptions());
+  auto values = ClusterWithOutlier(300, 180.0);
+  auto base = detector.Detect(values);
+  std::vector<double> shifted;
+  for (double v : values) shifted.push_back(v + 1234.5);
+  EXPECT_EQ(detector.Detect(shifted), base);
+}
+
+TEST(HistogramDetectorTest, ThresholdFractionControlsStrictness) {
+  auto values = ClusterWithOutlier(400, 150.0);
+  HistogramDetectorOptions strict = SmallOptions();
+  strict.frequency_fraction = 1e-9;  // only empty bins flagged -> nothing
+  HistogramDetectorOptions loose = SmallOptions();
+  loose.frequency_fraction = 0.05;
+  EXPECT_TRUE(HistogramDetector(strict).Detect(values).empty());
+  EXPECT_FALSE(HistogramDetector(loose).Detect(values).empty());
+}
+
+TEST(HistogramDetectorTest, PaperDefaultsExposed) {
+  HistogramDetector detector;  // paper's 2.5e-3 threshold
+  EXPECT_DOUBLE_EQ(detector.options().frequency_fraction, 2.5e-3);
+}
+
+TEST(HistogramDetectorTest, PaperThresholdOnLargePopulation) {
+  // With the paper's 2.5e-3 fraction, a 2000-point population flags bins
+  // with fewer than 5 members; a 3-member far-away cluster is caught.
+  HistogramDetector detector;
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(50.0 + rng.NextGaussian());
+  values.push_back(500.0);
+  values.push_back(501.0);
+  values.push_back(502.0);
+  auto flagged = detector.Detect(values);
+  ASSERT_GE(flagged.size(), 3u);
+  EXPECT_TRUE(std::find(flagged.begin(), flagged.end(), 2000u) !=
+              flagged.end());
+}
+
+}  // namespace
+}  // namespace pcor

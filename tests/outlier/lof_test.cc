@@ -1,0 +1,173 @@
+#include "src/outlier/lof.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace pcor {
+namespace {
+
+// Naive O(n^2) LOF reference with the same deterministic k-NN convention
+// (exactly k neighbors, distance ties toward smaller values).
+std::vector<double> NaiveLofScores(const std::vector<double>& values,
+                                   size_t k) {
+  const size_t n = values.size();
+  std::vector<double> scores(n, 1.0);
+  if (n <= k + 1) return scores;
+
+  // Neighbor lists by (distance, value, index) lexicographic order.
+  std::vector<std::vector<size_t>> knn(n);
+  std::vector<double> kdist(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> others;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    std::sort(others.begin(), others.end(), [&](size_t a, size_t b) {
+      double da = std::abs(values[a] - values[i]);
+      double db = std::abs(values[b] - values[i]);
+      if (da != db) return da < db;
+      if (values[a] != values[b]) return values[a] < values[b];
+      return a < b;
+    });
+    others.resize(k);
+    kdist[i] = std::abs(values[others.back()] - values[i]);
+    for (size_t j : others) {
+      kdist[i] = std::max(kdist[i], std::abs(values[j] - values[i]));
+    }
+    knn[i] = std::move(others);
+  }
+  std::vector<double> lrd(n);
+  for (size_t i = 0; i < n; ++i) {
+    double reach = 0;
+    for (size_t j : knn[i]) {
+      reach += std::max(kdist[j], std::abs(values[i] - values[j]));
+    }
+    lrd[i] = reach > 0 ? static_cast<double>(k) / reach
+                       : std::numeric_limits<double>::infinity();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (size_t j : knn[i]) {
+      if (std::isinf(lrd[i])) {
+        acc += std::isinf(lrd[j]) ? 1.0 : 0.0;
+      } else {
+        acc += lrd[j] / lrd[i];
+      }
+    }
+    scores[i] = acc / static_cast<double>(k);
+  }
+  return scores;
+}
+
+LofOptions SmallOptions() {
+  LofOptions options;
+  options.k = 3;
+  options.score_threshold = 1.5;
+  options.min_population = 8;
+  return options;
+}
+
+TEST(LofTest, FlagsIsolatedPoint) {
+  LofDetector detector(SmallOptions());
+  std::vector<double> values{1.0, 1.1, 1.2, 0.9, 1.05, 0.95, 1.15, 9.0};
+  auto flagged = detector.Detect(values);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 7u);
+}
+
+TEST(LofTest, UniformDataHasScoresNearOne) {
+  LofDetector detector(SmallOptions());
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(static_cast<double>(i));
+  auto scores = detector.Scores(values);
+  for (size_t i = 2; i + 2 < scores.size(); ++i) {
+    EXPECT_NEAR(scores[i], 1.0, 0.35) << i;
+  }
+  EXPECT_TRUE(detector.Detect(values).empty());
+}
+
+TEST(LofTest, MatchesNaiveReferenceOnDistinctValues) {
+  // Distinct values (no k-NN ties): the windowed and naive versions must
+  // agree exactly.
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 120; ++i) {
+    values.push_back(rng.NextGaussian() * 10.0);
+  }
+  for (size_t k : {3ul, 5ul, 10ul}) {
+    LofOptions options = SmallOptions();
+    options.k = k;
+    LofDetector detector(options);
+    auto fast = detector.Scores(values);
+    auto naive = NaiveLofScores(values, k);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], naive[i], 1e-9) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(LofTest, DuplicateHeavyDataDoesNotBlowUp) {
+  LofDetector detector(SmallOptions());
+  std::vector<double> values(30, 4.0);
+  values.push_back(9.0);
+  auto scores = detector.Scores(values);
+  // Duplicates are an infinitely dense cluster: their lrd is +inf, their
+  // LOF resolves to 1 (inliers). The isolated point's score may itself be
+  // +inf — infinitely less dense than its neighbors — which is exactly the
+  // outlier signal.
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(std::isfinite(scores[i])) << i;
+    EXPECT_NEAR(scores[i], 1.0, 1e-9) << i;
+  }
+  EXPECT_GT(scores[30], detector.options().score_threshold);
+  auto flagged = detector.Detect(values);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 30u);
+}
+
+TEST(LofTest, AffineInvariance) {
+  // LOF is a ratio of densities: invariant under positive affine maps.
+  LofDetector detector(SmallOptions());
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 60; ++i) values.push_back(rng.NextGaussian());
+  values.push_back(7.5);
+  auto base = detector.Scores(values);
+  std::vector<double> mapped;
+  for (double v : values) mapped.push_back(3.0 * v + 100.0);
+  auto transformed = detector.Scores(mapped);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base[i], transformed[i], 1e-9);
+  }
+}
+
+TEST(LofTest, SmallPopulationsReportNothing) {
+  LofDetector detector(SmallOptions());
+  std::vector<double> values{1, 2, 3, 100};
+  EXPECT_TRUE(detector.Detect(values).empty());
+}
+
+TEST(LofTest, ThresholdControlsSensitivity) {
+  std::vector<double> values{1.0, 1.1, 1.2, 0.9, 1.05, 0.95, 1.15, 3.0};
+  LofOptions loose = SmallOptions();
+  loose.score_threshold = 1.1;
+  LofOptions strict = SmallOptions();
+  strict.score_threshold = 100.0;
+  EXPECT_FALSE(LofDetector(loose).Detect(values).empty());
+  EXPECT_TRUE(LofDetector(strict).Detect(values).empty());
+}
+
+TEST(LofTest, DeterministicAcrossCalls) {
+  LofDetector detector(SmallOptions());
+  Rng rng(29);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.NextGaussian());
+  EXPECT_EQ(detector.Scores(values), detector.Scores(values));
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/outlier/zscore.h"
+
+namespace pcor {
+namespace testing_util {
+
+/// Schema with two categorical attributes A (3 values) and B (3 values);
+/// t = 6, m = 2.
+inline Schema GridSchema() {
+  Schema schema;
+  schema.AddAttribute("A", {"a0", "a1", "a2"}).CheckOK();
+  schema.AddAttribute("B", {"b0", "b1", "b2"}).CheckOK();
+  schema.SetMetricName("value");
+  return schema;
+}
+
+/// Deterministic dataset over GridSchema: every (a, b) group gets
+/// `per_group` rows with metric values 99..103 (tight cluster around 101),
+/// plus one target row V = (a0, b0) with the given extreme metric.
+/// With a z-score detector (threshold 3), V is an outlier in every context
+/// containing it, so COE(V) is all 2^(t-m) = 16 contexts containing V.
+///
+/// Note the default group size: a z-score cannot exceed (n-1)/sqrt(n), so
+/// a population of n rows can only cross threshold 3 when n >= 11; groups
+/// of 12 give the exact context of V (13 rows) a headroom of ~3.3.
+struct GridData {
+  Dataset dataset;
+  uint32_t v_row;
+};
+
+inline GridData MakeGridDataset(size_t per_group = 12,
+                                double v_metric = 200.0) {
+  Dataset dataset(GridSchema());
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 3; ++b) {
+      for (size_t i = 0; i < per_group; ++i) {
+        dataset.AppendRow({a, b}, 99.0 + static_cast<double>(i % 5))
+            .CheckOK();
+      }
+    }
+  }
+  const uint32_t v_row = static_cast<uint32_t>(dataset.num_rows());
+  dataset.AppendRow({0, 0}, v_metric).CheckOK();
+  return GridData{std::move(dataset), v_row};
+}
+
+/// Like MakeGridDataset, but group (a2, b2) is wildly spread (values up to
+/// v_metric and beyond), so V stops being an outlier in any context that
+/// includes both a2 and b2 — giving COE a non-trivial shape for search
+/// tests.
+inline GridData MakeSpreadGridDataset(size_t per_group = 12,
+                                      double v_metric = 200.0) {
+  Dataset dataset(GridSchema());
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 3; ++b) {
+      const bool wild = (a == 2 && b == 2);
+      for (size_t i = 0; i < per_group * (wild ? 6 : 1); ++i) {
+        const double base =
+            wild ? 90.0 + 25.0 * static_cast<double>(i % 10)
+                 : 99.0 + static_cast<double>(i % 5);
+        dataset.AppendRow({a, b}, base).CheckOK();
+      }
+    }
+  }
+  const uint32_t v_row = static_cast<uint32_t>(dataset.num_rows());
+  dataset.AppendRow({0, 0}, v_metric).CheckOK();
+  return GridData{std::move(dataset), v_row};
+}
+
+/// Z-score detector configured for the tiny grid datasets.
+inline ZscoreDetector MakeTestDetector() {
+  ZscoreOptions options;
+  options.threshold = 3.0;
+  options.min_population = 4;
+  return ZscoreDetector(options);
+}
+
+}  // namespace testing_util
+}  // namespace pcor
