@@ -1,4 +1,4 @@
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 
 #include <algorithm>
 #include <mutex>
@@ -59,7 +59,7 @@ std::shared_ptr<const std::vector<uint32_t>> OutlierVerifier::Compute(
   return result;
 }
 
-void OutlierVerifier::ClearCache() {
+void OutlierVerifier::ClearCache() const {
   std::unique_lock<std::shared_mutex> lock(mu_);
   cache_.clear();
 }

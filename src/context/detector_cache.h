@@ -54,8 +54,9 @@ class OutlierVerifier {
   /// \brief Number of cache hits served.
   size_t cache_hits() const { return cache_hits_.load(); }
 
-  /// \brief Drops all memoized results.
-  void ClearCache();
+  /// \brief Drops all memoized results. Logically const: the cache is a
+  /// pure memo, so clearing it never changes any observable answer.
+  void ClearCache() const;
 
  private:
   std::shared_ptr<const std::vector<uint32_t>> Compute(

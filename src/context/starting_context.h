@@ -5,7 +5,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/context/context.h"
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 
 namespace pcor {
 

@@ -2,7 +2,7 @@
 
 #include "src/common/result.h"
 #include "src/context/coe.h"
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 
 namespace pcor {
 

@@ -1,11 +1,9 @@
 #include "src/exp/experiment.h"
 
-#include <atomic>
+#include <algorithm>
 #include <limits>
-#include <mutex>
+#include <span>
 
-#include "src/common/threading.h"
-#include "src/common/timer.h"
 #include "src/context/starting_context.h"
 
 namespace pcor {
@@ -65,37 +63,30 @@ Result<ExperimentResult> RunPcorExperiment(
   options.utility = config.utility;
   options.max_probes = config.max_probes;
 
-  ExperimentResult result;
-  result.utility_ratios.assign(config.trials, 0.0);
-  result.runtimes.assign(config.trials, 0.0);
-  std::vector<char> trial_ok(config.trials, 0);
-  std::atomic<size_t> failures{0};
+  // Trials rotate round-robin over the usable rows; each trial pins its
+  // row's fixed utility. The batch engine fans the trials out over its
+  // ThreadPool with per-trial Rng streams derived from (seed, trial) — the
+  // same derivation the pre-batch harness used, so results reproduce.
+  std::vector<BatchRequest> requests(config.trials);
+  std::vector<double> max_utilities(config.trials, 0.0);
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    const RowSetup& setup = *pool[trial % pool.size()];
+    requests[trial].v_row = setup.row;
+    requests[trial].utility = setup.utility.get();
+    max_utilities[trial] = setup.max_utility;
+  }
+  const BatchReleaseReport report = engine.ReleaseBatch(
+      std::span<const BatchRequest>(requests), options, config.seed,
+      std::max<size_t>(config.threads, 1));
 
-  ParallelFor(config.trials, std::max<size_t>(config.threads, 1),
-              [&](size_t trial) {
-                const RowSetup& setup = *pool[trial % pool.size()];
-                Rng rng(config.seed + 0x9e3779b9ULL * (trial + 1));
-                WallTimer timer;
-                auto release = engine.ReleaseWithUtility(
-                    setup.row, options, *setup.utility, &rng);
-                const double seconds = timer.ElapsedSeconds();
-                if (!release.ok()) {
-                  failures.fetch_add(1, std::memory_order_relaxed);
-                  return;
-                }
-                result.utility_ratios[trial] =
-                    release->utility_score / setup.max_utility;
-                result.runtimes[trial] = seconds;
-                trial_ok[trial] = 1;
-              });
-
-  // Compact out failed trials.
   ExperimentResult compact;
-  compact.failures = failures.load();
-  for (size_t i = 0; i < config.trials; ++i) {
-    if (!trial_ok[i]) continue;
-    compact.utility_ratios.push_back(result.utility_ratios[i]);
-    compact.runtimes.push_back(result.runtimes[i]);
+  compact.failures = report.failures;
+  for (size_t trial = 0; trial < report.entries.size(); ++trial) {
+    const BatchEntry& entry = report.entries[trial];
+    if (!entry.status.ok()) continue;
+    compact.utility_ratios.push_back(entry.release.utility_score /
+                                     max_utilities[trial]);
+    compact.runtimes.push_back(entry.release.seconds);
   }
   return compact;
 }

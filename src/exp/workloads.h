@@ -6,7 +6,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/data/generator.h"
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 
 namespace pcor {
 

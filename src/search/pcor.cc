@@ -1,5 +1,9 @@
 #include "src/search/pcor.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/threading.h"
 #include "src/common/timer.h"
 #include "src/dp/mechanism.h"
 
@@ -97,6 +101,80 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
   release.hit_probe_cap = outcome.hit_probe_cap;
   release.seconds = timer.ElapsedSeconds();
   return release;
+}
+
+BatchReleaseReport PcorEngine::ReleaseBatch(std::span<const uint32_t> v_rows,
+                                            const PcorOptions& options,
+                                            uint64_t seed,
+                                            size_t num_threads) const {
+  std::vector<BatchRequest> requests(v_rows.size());
+  for (size_t i = 0; i < v_rows.size(); ++i) requests[i].v_row = v_rows[i];
+  return ReleaseBatch(std::span<const BatchRequest>(requests), options, seed,
+                      num_threads);
+}
+
+BatchReleaseReport PcorEngine::ReleaseBatch(
+    std::span<const BatchRequest> requests, const PcorOptions& options,
+    uint64_t seed, size_t num_threads) const {
+  WallTimer timer;
+  BatchReleaseReport report;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  // Never spawn more workers than entries (a 4-row batch on a 64-core box
+  // must not pay 60 useless thread start/joins).
+  report.threads = std::max<size_t>(1, std::min(num_threads, requests.size()));
+  report.entries.resize(requests.size());
+
+  const size_t evals_before = verifier_.evaluations();
+  const size_t hits_before = verifier_.cache_hits();
+
+  // Each worker drains a shared index counter; entry i's Rng stream depends
+  // only on (seed, i), never on which worker claims it, so scheduling
+  // cannot perturb the released contexts.
+  std::atomic<size_t> next{0};
+  const auto run_one = [&](size_t i) {
+    BatchEntry& entry = report.entries[i];
+    entry.v_row = requests[i].v_row;
+    entry.rng_seed = BatchTrialSeed(seed, i);
+    Rng rng(entry.rng_seed);
+    Result<PcorRelease> released =
+        requests[i].utility == nullptr
+            ? Release(entry.v_row, options, &rng)
+            : ReleaseWithUtility(entry.v_row, options, *requests[i].utility,
+                                 &rng);
+    if (released.ok()) {
+      entry.release = std::move(released).value();
+    } else {
+      entry.status = released.status();
+    }
+  };
+  if (report.threads <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(report.threads);
+    for (size_t w = 0; w < report.threads; ++w) {
+      pool.Submit([&] {
+        while (true) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= report.entries.size()) return;
+          run_one(i);
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  for (const BatchEntry& entry : report.entries) {
+    if (!entry.status.ok()) {
+      ++report.failures;
+      continue;
+    }
+    report.total_probes += entry.release.probes;
+    report.total_epsilon_spent += entry.release.epsilon_spent;
+  }
+  report.total_f_evaluations = verifier_.evaluations() - evals_before;
+  report.cache_hits = verifier_.cache_hits() - hits_before;
+  report.seconds = timer.ElapsedSeconds();
+  return report;
 }
 
 }  // namespace pcor

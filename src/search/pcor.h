@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/common/result.h"
@@ -11,7 +13,7 @@
 #include "src/dp/budget.h"
 #include "src/dp/utility.h"
 #include "src/outlier/detector.h"
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 #include "src/search/sampler.h"
 
 namespace pcor {
@@ -49,6 +51,45 @@ struct PcorRelease {
   bool hit_probe_cap = false;
 };
 
+/// \brief One unit of work for ReleaseBatch: a query outlier plus an
+/// optional fixed utility. When `utility` is null the engine derives one
+/// from PcorOptions per release (starting context included); a non-null
+/// utility pins both, which the experiment harness uses to keep C_V fixed
+/// per row. The pointee must outlive the batch call.
+struct BatchRequest {
+  uint32_t v_row = 0;
+  const UtilityFunction* utility = nullptr;
+};
+
+/// \brief Outcome of one batch item. `release` is meaningful iff
+/// `status.ok()`. `rng_seed` is the per-trial stream seed, recorded so any
+/// single item can be replayed in isolation with Release().
+struct BatchEntry {
+  uint32_t v_row = 0;
+  uint64_t rng_seed = 0;
+  Status status;
+  PcorRelease release;
+};
+
+/// \brief Aggregated outcome of ReleaseBatch. Entries keep input order.
+///
+/// `total_f_evaluations` / `cache_hits` are exact batch-level deltas of the
+/// shared verifier's counters; the per-entry `release.f_evaluations` is
+/// only an attribution estimate when the batch runs multi-threaded
+/// (concurrent releases interleave on the shared cache).
+struct BatchReleaseReport {
+  std::vector<BatchEntry> entries;
+  size_t threads = 1;             ///< worker threads the batch ran on
+  size_t failures = 0;            ///< entries whose status is not OK
+  size_t total_probes = 0;        ///< candidate contexts examined
+  size_t total_f_evaluations = 0; ///< detector runs (verifier cache misses)
+  size_t cache_hits = 0;          ///< verifier cache hits during the batch
+  double total_epsilon_spent = 0.0;  ///< sum over successful releases
+  double seconds = 0.0;           ///< wall time of the whole batch
+
+  size_t num_released() const { return entries.size() - failures; }
+};
+
 /// \brief PCOR — the end-to-end private contextual outlier release engine
 /// (Definition 3.2). Owns the population index and the memoized verifier
 /// for one (dataset, detector) pair; Release() can be called for many
@@ -73,6 +114,29 @@ class PcorEngine {
                                          const PcorOptions& options,
                                          const UtilityFunction& utility,
                                          Rng* rng) const;
+
+  /// \brief Releases many outliers in one call, fanned out over a
+  /// ThreadPool with the shared verifier cache. Entry i draws from an
+  /// independent Rng stream derived from (seed, i), so the batch outcome
+  /// is identical for every thread count, including 1.
+  ///
+  /// `num_threads` 0 means DefaultThreadCount(). Per-entry errors (e.g. a
+  /// row with no valid context) are recorded in the entry, not returned:
+  /// one bad row must not sink a 10k-row batch.
+  BatchReleaseReport ReleaseBatch(std::span<const uint32_t> v_rows,
+                                  const PcorOptions& options, uint64_t seed,
+                                  size_t num_threads = 0) const;
+
+  /// \brief Generalized batch: per-item fixed utilities (see BatchRequest).
+  BatchReleaseReport ReleaseBatch(std::span<const BatchRequest> requests,
+                                  const PcorOptions& options, uint64_t seed,
+                                  size_t num_threads = 0) const;
+
+  /// \brief The Rng stream seed ReleaseBatch assigns to entry `index`.
+  /// Exposed so callers (experiment harness, tests) can replay one trial.
+  static uint64_t BatchTrialSeed(uint64_t seed, size_t index) {
+    return seed + 0x9e3779b9ULL * (index + 1);
+  }
 
   const Dataset& dataset() const { return *dataset_; }
   const PopulationIndex& population_index() const { return index_; }

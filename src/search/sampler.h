@@ -9,7 +9,7 @@
 #include "src/context/context.h"
 #include "src/dp/budget.h"
 #include "src/dp/utility.h"
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 
 namespace pcor {
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "tests/testing_util.h"
 
@@ -13,7 +16,11 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/pcor_csv_test.csv";
+    // Unique per test *and* process: ctest runs each test as its own
+    // parallel job, so a shared fixed path races with -j.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/pcor_csv_" + info->name() + "_" +
+            std::to_string(static_cast<long>(::getpid())) + ".csv";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

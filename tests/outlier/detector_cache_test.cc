@@ -1,8 +1,13 @@
-#include "src/outlier/detector_cache.h"
+#include "src/context/detector_cache.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "src/common/threading.h"
+#include "src/search/pcor.h"
 #include "tests/testing_util.h"
 
 namespace pcor {
@@ -118,6 +123,109 @@ TEST_F(VerifierTest, ConcurrentQueriesAreConsistent) {
     verifier.IsOutlierInContext(c, grid_.v_row);
   });
   EXPECT_FALSE(mismatch.load());
+}
+
+// The engine shares one verifier across all Release() calls; these tests
+// cover that cache under real concurrent releases (the ReleaseBatch
+// fan-out path) rather than bare verifier queries.
+
+TEST_F(VerifierTest, ConcurrentReleasesThroughSharedCacheAreDeterministic) {
+  PcorEngine engine(grid_.dataset, detector_);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+
+  // Serial baseline on a cold engine.
+  constexpr size_t kReleases = 48;
+  PcorEngine baseline_engine(grid_.dataset, detector_);
+  std::vector<ContextVec> expected(kReleases);
+  std::vector<double> expected_scores(kReleases, 0.0);
+  for (size_t i = 0; i < kReleases; ++i) {
+    Rng rng(1000 + i);
+    auto release = baseline_engine.Release(grid_.v_row, options, &rng);
+    ASSERT_TRUE(release.ok()) << release.status().ToString();
+    expected[i] = release->context;
+    expected_scores[i] = release->utility_score;
+  }
+
+  // Same releases, 8-way concurrent, one shared verifier cache.
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  ParallelFor(kReleases, 8, [&](size_t i) {
+    Rng rng(1000 + i);
+    auto release = engine.Release(grid_.v_row, options, &rng);
+    if (!release.ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    if (release->context != expected[i] ||
+        release->utility_score != expected_scores[i]) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The shared cache must actually have been shared: far fewer detector
+  // runs than 48 cold releases would need.
+  EXPECT_LT(engine.verifier().evaluations(),
+            baseline_engine.verifier().evaluations() * kReleases);
+  EXPECT_GT(engine.verifier().cache_hits(), 0u);
+}
+
+TEST_F(VerifierTest, ConcurrentReleasesSurviveCacheClears) {
+  // ClearCache() concurrent with releases must never change results —
+  // the cache is a pure memo over a deterministic function.
+  PcorEngine engine(grid_.dataset, detector_);
+  PcorOptions options;
+  options.sampler = SamplerKind::kUniform;
+  options.num_samples = 6;
+
+  Rng baseline_rng(77);
+  auto baseline = engine.Release(grid_.v_row, options, &baseline_rng);
+  ASSERT_TRUE(baseline.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      engine.verifier().ClearCache();
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<size_t> mismatches{0};
+  ParallelFor(32, 4, [&](size_t) {
+    Rng rng(77);
+    auto release = engine.Release(grid_.v_row, options, &rng);
+    if (!release.ok() || release->context != baseline->context) {
+      mismatches.fetch_add(1);
+    }
+  });
+  stop.store(true);
+  clearer.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST_F(VerifierTest, CacheCapEvictionUnderConcurrentReleases) {
+  // A tiny cache forces wholesale clears mid-release; correctness must not
+  // depend on entries staying resident.
+  VerifierOptions small_cache;
+  small_cache.max_cache_entries = 8;
+  PcorEngine engine(grid_.dataset, detector_, small_cache);
+  PcorEngine reference(grid_.dataset, detector_);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+
+  std::atomic<size_t> mismatches{0};
+  ParallelFor(16, 4, [&](size_t i) {
+    Rng rng(500 + i);
+    auto capped = engine.Release(grid_.v_row, options, &rng);
+    Rng ref_rng(500 + i);
+    auto full = reference.Release(grid_.v_row, options, &ref_rng);
+    if (!capped.ok() || !full.ok() || capped->context != full->context) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/search/pcor.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+// Fields of a release that must be bit-identical across thread counts.
+// (Wall time and the per-entry f_evaluations attribution legitimately vary
+// when concurrent releases interleave on the shared verifier cache.)
+void ExpectSameRelease(const BatchEntry& a, const BatchEntry& b) {
+  ASSERT_EQ(a.status.ok(), b.status.ok()) << a.status.ToString() << " vs "
+                                          << b.status.ToString();
+  EXPECT_EQ(a.v_row, b.v_row);
+  EXPECT_EQ(a.rng_seed, b.rng_seed);
+  if (!a.status.ok()) {
+    EXPECT_EQ(a.status.code(), b.status.code());
+    return;
+  }
+  EXPECT_EQ(a.release.context, b.release.context);
+  EXPECT_EQ(a.release.starting_context, b.release.starting_context);
+  EXPECT_EQ(a.release.description, b.release.description);
+  EXPECT_DOUBLE_EQ(a.release.epsilon_spent, b.release.epsilon_spent);
+  EXPECT_DOUBLE_EQ(a.release.epsilon1, b.release.epsilon1);
+  EXPECT_EQ(a.release.num_candidates, b.release.num_candidates);
+  EXPECT_EQ(a.release.probes, b.release.probes);
+  EXPECT_DOUBLE_EQ(a.release.utility_score, b.release.utility_score);
+  EXPECT_EQ(a.release.hit_probe_cap, b.release.hit_probe_cap);
+}
+
+class PcorBatchTest : public ::testing::Test {
+ protected:
+  PcorBatchTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        detector_(testing_util::MakeTestDetector()),
+        engine_(grid_.dataset, detector_) {}
+
+  testing_util::GridData grid_;
+  ZscoreDetector detector_;
+  PcorEngine engine_;
+};
+
+TEST_F(PcorBatchTest, SameSeedIsIdenticalAcrossThreadCounts) {
+  // >= 100 releases of the known outlier; every sampler kind in the mix
+  // would slow the suite, so BFS (the paper's choice) stands in.
+  std::vector<uint32_t> rows(120, grid_.v_row);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+  options.total_epsilon = 0.4;
+
+  const uint64_t seed = 2021;
+  const BatchReleaseReport one = engine_.ReleaseBatch(
+      std::span<const uint32_t>(rows), options, seed, /*num_threads=*/1);
+  ASSERT_EQ(one.entries.size(), rows.size());
+  EXPECT_EQ(one.failures, 0u);
+  EXPECT_EQ(one.threads, 1u);
+
+  for (size_t threads : {2u, 8u}) {
+    const BatchReleaseReport many = engine_.ReleaseBatch(
+        std::span<const uint32_t>(rows), options, seed, threads);
+    ASSERT_EQ(many.entries.size(), one.entries.size());
+    EXPECT_EQ(many.threads, threads);
+    EXPECT_EQ(many.failures, one.failures);
+    EXPECT_EQ(many.total_probes, one.total_probes);
+    EXPECT_DOUBLE_EQ(many.total_epsilon_spent, one.total_epsilon_spent);
+    for (size_t i = 0; i < one.entries.size(); ++i) {
+      SCOPED_TRACE(i);
+      ExpectSameRelease(one.entries[i], many.entries[i]);
+    }
+  }
+}
+
+TEST_F(PcorBatchTest, DistinctSeedsGiveIndependentStreams) {
+  std::vector<uint32_t> rows(24, grid_.v_row);
+  PcorOptions options;
+  options.sampler = SamplerKind::kUniform;
+  options.num_samples = 6;
+
+  const BatchReleaseReport a =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 7, 2);
+  const BatchReleaseReport b =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 8, 2);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    if (a.entries[i].release.context != b.entries[i].release.context ||
+        a.entries[i].release.utility_score !=
+            b.entries[i].release.utility_score) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u) << "different seeds should change some draws";
+}
+
+TEST_F(PcorBatchTest, MatchesSingleReleaseReplay) {
+  // Any entry replays in isolation from its recorded stream seed.
+  std::vector<uint32_t> rows(10, grid_.v_row);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+  const BatchReleaseReport report =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 99, 4);
+  ASSERT_EQ(report.failures, 0u);
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(report.entries[i].rng_seed, PcorEngine::BatchTrialSeed(99, i));
+    Rng rng(report.entries[i].rng_seed);
+    auto single = engine_.Release(rows[i], options, &rng);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    EXPECT_EQ(single->context, report.entries[i].release.context);
+    EXPECT_DOUBLE_EQ(single->utility_score,
+                     report.entries[i].release.utility_score);
+  }
+}
+
+TEST_F(PcorBatchTest, RecordsPerEntryFailuresWithoutSinkingTheBatch) {
+  // Row 1 sits in the tight cluster: no context flags it, so its starting
+  // context search fails while the real outlier still releases.
+  std::vector<uint32_t> rows = {grid_.v_row, 1, grid_.v_row,
+                                static_cast<uint32_t>(1) << 30};
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 4;
+  const BatchReleaseReport report =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 3, 2);
+  ASSERT_EQ(report.entries.size(), 4u);
+  EXPECT_TRUE(report.entries[0].status.ok());
+  EXPECT_FALSE(report.entries[1].status.ok());
+  EXPECT_TRUE(report.entries[2].status.ok());
+  EXPECT_FALSE(report.entries[3].status.ok());  // out of range row
+  EXPECT_EQ(report.failures, 2u);
+  EXPECT_EQ(report.num_released(), 2u);
+}
+
+TEST_F(PcorBatchTest, AggregatesCountersAcrossTheBatch) {
+  std::vector<uint32_t> rows(16, grid_.v_row);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+  const size_t evals_before = engine_.verifier().evaluations();
+  const BatchReleaseReport report =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 11, 2);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.total_probes, 0u);
+  EXPECT_DOUBLE_EQ(report.total_epsilon_spent,
+                   16 * report.entries[0].release.epsilon_spent);
+  EXPECT_EQ(report.total_f_evaluations,
+            engine_.verifier().evaluations() - evals_before);
+  // The 16 identical releases revisit the same contexts: the shared cache
+  // must serve hits across entries.
+  EXPECT_GT(report.cache_hits, 0u);
+  EXPECT_GE(report.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace pcor
