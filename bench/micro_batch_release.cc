@@ -54,8 +54,8 @@ int main() {
   options.num_samples = 20;
   options.total_epsilon = 0.2;
 
-  TableRenderer table({"Threads", "Wall", "Speedup", "Releases/s",
-                       "f_evals", "Cache hits", "Failures"});
+  TableRenderer table({"Threads", "Wall", "Speedup", "Releases/s", "f_evals",
+                       "Cache hits", "Evictions", "Resident MB", "Failures"});
   double base_seconds = 0.0;
   BatchReleaseReport baseline;
   bool identical = true;
@@ -78,6 +78,11 @@ int main() {
                                       report.seconds),
                   strings::Format("%zu", report.total_f_evaluations),
                   strings::Format("%zu", report.cache_hits),
+                  strings::Format("%zu", report.cache_evictions),
+                  strings::Format("%.2f",
+                                  static_cast<double>(
+                                      report.verifier_stats.resident_bytes) /
+                                      (1024.0 * 1024.0)),
                   strings::Format("%zu", report.failures)});
   }
 

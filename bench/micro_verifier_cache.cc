@@ -1,0 +1,173 @@
+// Micro-benchmark for the f_M verification hot path: the same deterministic
+// release trace driven through OutlierVerifier caches with different
+// policies — no cache, the pre-LRU wholesale-clear ablation, and the
+// sharded LRU — at several memory budgets. The acceptance bar for the LRU
+// refactor is beating wholesale-clear on hit rate at equal budget.
+//
+// Besides the ASCII table, every configuration emits one machine-readable
+// `BENCH_JSON {...}` line so CI can start tracking the hot path over time.
+#include <cinttypes>
+
+#include "bench/bench_util.h"
+
+using namespace pcor;
+using namespace pcor::bench;
+
+namespace {
+
+struct Ablation {
+  const char* mode;    // "none" | "clear_all" | "sharded_lru"
+  size_t budget_bytes; // 0 = unbounded / not applicable
+  double hit_rate = 0.0;
+  VerifierStats stats;
+  double seconds = 0.0;
+};
+
+double HitRate(const VerifierStats& stats) {
+  const size_t probes = stats.cache_hits + stats.cache_misses;
+  return probes == 0 ? 0.0
+                     : static_cast<double>(stats.cache_hits) /
+                           static_cast<double>(probes);
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env = ReadBenchEnv(/*default_scale=*/0.1);
+  PrintEnv(env,
+           "micro: verifier cache ablation (no cache vs. wholesale clear "
+           "vs. sharded LRU; BFS, eps=0.2, n=20)");
+
+  auto setup = MakeSalarySetup(env, "lof");
+  if (!setup) return 1;
+
+  const size_t kBatchSize =
+      std::max<size_t>(100, env.reps * setup->outliers.size());
+  std::vector<uint32_t> rows(kBatchSize);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = setup->outliers[i % setup->outliers.size()];
+  }
+  std::printf("trace: %zu releases over %zu distinct outliers, %zu rows\n",
+              rows.size(), setup->outliers.size(),
+              setup->workload.data.dataset.num_rows());
+
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 20;
+  options.total_epsilon = 0.2;
+
+  // Budgets chosen to straddle the trace's working set: at the tight end
+  // both policies shed constantly and the *policy* decides what survives.
+  const std::vector<size_t> budgets = {32 << 10, 128 << 10, 1 << 20};
+
+  std::vector<Ablation> ablations;
+  ablations.push_back({"none", 0});
+  for (size_t budget : budgets) ablations.push_back({"clear_all", budget});
+  for (size_t budget : budgets) ablations.push_back({"sharded_lru", budget});
+  ablations.push_back({"sharded_lru", 0});  // unbounded reference
+
+  // All policies must release identically on every entry of the trace —
+  // entry 0 runs on a near-cold cache, so only the tail would expose an
+  // eviction bug.
+  std::vector<ContextVec> reference_releases;
+  bool identical = true;
+  for (Ablation& ablation : ablations) {
+    VerifierOptions verifier_options;
+    verifier_options.max_cache_bytes = ablation.budget_bytes;
+    if (std::string(ablation.mode) == "none") {
+      verifier_options.enable_cache = false;
+    } else if (std::string(ablation.mode) == "clear_all") {
+      // The pre-LRU verifier: one shard, dropped wholesale when full.
+      verifier_options.wholesale_clear = true;
+      verifier_options.num_shards = 1;
+    } else {
+      // Pin the shard count: the auto default is one shard per hardware
+      // thread, which would slice the per-shard budget differently across
+      // machines and make the CI-gated hit-rate comparison non-portable.
+      verifier_options.num_shards = 4;
+    }
+    PcorEngine engine(setup->workload.data.dataset, *setup->detector,
+                      verifier_options);
+    // Single-threaded so every configuration sees the exact same
+    // deterministic probe sequence — hit rates are directly comparable.
+    const BatchReleaseReport report = engine.ReleaseBatch(
+        std::span<const uint32_t>(rows), options, env.seed,
+        /*num_threads=*/1);
+    ablation.stats = engine.verifier().Stats();
+    ablation.hit_rate = HitRate(ablation.stats);
+    ablation.seconds = report.seconds;
+    if (report.failures != 0) {
+      std::printf("ERROR: %zu failures under mode %s\n", report.failures,
+                  ablation.mode);
+      return 1;
+    }
+    if (reference_releases.empty()) {
+      reference_releases.reserve(report.entries.size());
+      for (const BatchEntry& entry : report.entries) {
+        reference_releases.push_back(entry.release.context);
+      }
+    } else {
+      for (size_t i = 0; i < report.entries.size(); ++i) {
+        if (report.entries[i].release.context != reference_releases[i]) {
+          identical = false;  // eviction must be answer-invariant
+          break;
+        }
+      }
+    }
+  }
+
+  TableRenderer table({"Policy", "Budget KiB", "Wall", "Hit rate", "f_evals",
+                       "Evictions", "Resident KiB"});
+  for (const Ablation& ablation : ablations) {
+    table.AddRow(
+        {ablation.mode,
+         ablation.budget_bytes == 0
+             ? std::string("inf")
+             : strings::Format("%zu", ablation.budget_bytes >> 10),
+         report::FormatRuntime(ablation.seconds),
+         strings::Format("%.4f", ablation.hit_rate),
+         strings::Format("%zu", ablation.stats.evaluations),
+         strings::Format("%zu", ablation.stats.cache_evictions),
+         strings::Format("%zu", ablation.stats.resident_bytes >> 10)});
+    std::printf(
+        "BENCH_JSON {\"bench\":\"micro_verifier_cache\",\"mode\":\"%s\","
+        "\"budget_bytes\":%zu,\"hits\":%zu,\"misses\":%zu,"
+        "\"hit_rate\":%.6f,\"evictions\":%zu,\"resident_bytes\":%zu,"
+        "\"f_evals\":%zu,\"wall_s\":%.6f}\n",
+        ablation.mode, ablation.budget_bytes, ablation.stats.cache_hits,
+        ablation.stats.cache_misses, ablation.hit_rate,
+        ablation.stats.cache_evictions, ablation.stats.resident_bytes,
+        ablation.stats.evaluations, ablation.seconds);
+  }
+  report::SectionHeader("f_M cache ablation");
+  std::printf("%s", table.Render().c_str());
+
+  // Acceptance: at equal budget, sharded LRU must not lose to wholesale
+  // clears, and must win outright somewhere.
+  bool lru_wins = false;
+  bool lru_never_loses = true;
+  for (size_t budget : budgets) {
+    double clear_rate = 0.0, lru_rate = 0.0;
+    for (const Ablation& ablation : ablations) {
+      if (ablation.budget_bytes != budget) continue;
+      if (std::string(ablation.mode) == "clear_all") {
+        clear_rate = ablation.hit_rate;
+      } else if (std::string(ablation.mode) == "sharded_lru") {
+        lru_rate = ablation.hit_rate;
+      }
+    }
+    if (lru_rate > clear_rate + 1e-9) lru_wins = true;
+    if (lru_rate < clear_rate - 1e-9) lru_never_loses = false;
+    std::printf("budget %6zu KiB: clear_all=%.4f sharded_lru=%.4f  %s\n",
+                budget >> 10, clear_rate, lru_rate,
+                lru_rate >= clear_rate ? "LRU >=" : "LRU LOSES");
+  }
+  report::Note(
+      "equal-budget comparison; 'none' and the unbounded row bracket the "
+      "achievable range");
+  std::printf("answer invariance across policies: %s\n",
+              identical ? "IDENTICAL" : "MISMATCH");
+  std::printf("sharded LRU vs wholesale clear: %s\n",
+              lru_wins && lru_never_loses ? "WINS" : "DOES NOT WIN");
+  return (identical && lru_wins && lru_never_loses) ? 0 : 1;
+}

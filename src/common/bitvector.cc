@@ -9,6 +9,12 @@ BitVector::BitVector(size_t size, bool value)
   if (value) ZeroTailBits();
 }
 
+void BitVector::Assign(size_t size, bool value) {
+  size_ = size;
+  words_.assign((size + 63) / 64, value ? ~0ULL : 0ULL);
+  if (value) ZeroTailBits();
+}
+
 void BitVector::Set(size_t i) {
   PCOR_CHECK(i < size_) << "BitVector::Set out of range";
   words_[i / 64] |= (1ULL << (i % 64));
@@ -77,6 +83,11 @@ std::vector<uint32_t> BitVector::ToIndices() const {
   out.reserve(Count());
   ForEachSetBit([&out](uint32_t i) { out.push_back(i); });
   return out;
+}
+
+void BitVector::AppendSetBits(std::vector<uint32_t>* out) const {
+  out->reserve(out->size() + Count());
+  ForEachSetBit([out](uint32_t i) { out->push_back(i); });
 }
 
 void BitVector::ZeroTailBits() {

@@ -20,6 +20,11 @@ class BitVector {
   size_t size() const { return size_; }
   size_t num_words() const { return words_.size(); }
 
+  /// \brief Resizes to `size` bits, all set to `value`, reusing the word
+  /// storage — no allocation once the vector has grown to its steady-state
+  /// capacity. The scratch-buffer counterpart of the sizing constructor.
+  void Assign(size_t size, bool value);
+
   void Set(size_t i);
   void Clear(size_t i);
   bool Test(size_t i) const;
@@ -43,6 +48,10 @@ class BitVector {
 
   /// \brief Indices of all set bits, ascending.
   std::vector<uint32_t> ToIndices() const;
+
+  /// \brief Appends the indices of all set bits to `*out`, ascending —
+  /// allocation-free when the caller's buffer has capacity.
+  void AppendSetBits(std::vector<uint32_t>* out) const;
 
   /// \brief Applies fn(index) for each set bit, ascending.
   template <typename Fn>

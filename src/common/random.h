@@ -7,6 +7,13 @@
 
 namespace pcor {
 
+/// \brief The SplitMix64 finalizer: a bijective avalanche mix of one 64-bit
+/// word (Steele, Lea & Flood 2014). Every output bit depends on every input
+/// bit, so nearby inputs (seed, seed+1, ...) map to decorrelated outputs —
+/// the right tool for deriving independent per-trial stream seeds from a
+/// (batch seed, index) pair.
+uint64_t SplitMix64Mix(uint64_t x);
+
 /// \brief Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
 ///
 /// Every randomized component of the library draws from an explicitly passed

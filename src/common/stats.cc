@@ -69,15 +69,19 @@ ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
 }
 
 double Percentile(std::vector<double> samples, double q) {
-  PCOR_CHECK(!samples.empty()) << "Percentile of empty sample";
-  PCOR_CHECK(q >= 0.0 && q <= 1.0) << "Percentile q must be in [0,1]";
   std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) return samples[0];
-  const double pos = q * static_cast<double>(samples.size() - 1);
+  return PercentileOfSorted(samples, q);
+}
+
+double PercentileOfSorted(std::span<const double> sorted, double q) {
+  PCOR_CHECK(!sorted.empty()) << "Percentile of empty sample";
+  PCOR_CHECK(q >= 0.0 && q <= 1.0) << "Percentile q must be in [0,1]";
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 HistogramBuilder::HistogramBuilder(double lo, double hi, size_t bins)

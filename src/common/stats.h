@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ ConfidenceInterval MeanConfidenceInterval(const std::vector<double>& samples,
 
 /// \brief Exact percentile with linear interpolation (q in [0, 1]).
 double Percentile(std::vector<double> samples, double q);
+
+/// \brief Percentile of an already ascending-sorted sample — no copy, no
+/// sort. Callers that need several quantiles of one sample sort once into a
+/// scratch buffer and query this repeatedly.
+double PercentileOfSorted(std::span<const double> sorted, double q);
 
 /// \brief Fixed-width histogram over [min, max] used to reproduce the
 /// paper's figure panels (utility / runtime distributions).

@@ -1,14 +1,38 @@
 #include "src/context/detector_cache.h"
 
 #include <algorithm>
-#include <mutex>
+#include <utility>
 
 namespace pcor {
+
+namespace {
+
+LruCacheOptions ToCacheOptions(const VerifierOptions& options) {
+  LruCacheOptions cache_options;
+  cache_options.max_bytes = options.max_cache_bytes;
+  cache_options.max_entries = options.max_cache_entries;
+  cache_options.num_shards = options.num_shards;
+  cache_options.wholesale_clear = options.wholesale_clear;
+  return cache_options;
+}
+
+// Approximate footprint of one memoized result: the outlier row ids plus
+// the shared_ptr control block. The cache adds its own per-entry overhead
+// (key + node + hash-table bookkeeping) on top.
+size_t ApproxResultBytes(const std::vector<uint32_t>& outliers) {
+  return sizeof(std::vector<uint32_t>) + outliers.capacity() * sizeof(uint32_t) +
+         2 * sizeof(void*);
+}
+
+}  // namespace
 
 OutlierVerifier::OutlierVerifier(const PopulationIndex& index,
                                  const OutlierDetector& detector,
                                  VerifierOptions options)
-    : index_(&index), detector_(&detector), options_(options) {}
+    : index_(&index),
+      detector_(&detector),
+      options_(options),
+      cache_(ToCacheOptions(options)) {}
 
 bool OutlierVerifier::IsOutlierInContext(const ContextVec& c,
                                          uint32_t v_row) const {
@@ -23,45 +47,44 @@ bool OutlierVerifier::IsOutlierInContext(const ContextVec& c,
 
 std::shared_ptr<const std::vector<uint32_t>>
 OutlierVerifier::OutliersInContext(const ContextVec& c) const {
-  if (options_.enable_cache) {
-    {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      auto it = cache_.find(c);
-      if (it != cache_.end()) {
-        cache_hits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second;
-      }
-    }
-    auto computed = Compute(c);
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    if (cache_.size() >= options_.max_cache_entries) cache_.clear();
-    auto [it, inserted] = cache_.emplace(c, std::move(computed));
-    return it->second;
-  }
-  return Compute(c);
+  if (!options_.enable_cache) return Compute(c);
+  ResultPtr cached;
+  if (cache_.Get(c, &cached)) return cached;
+  ResultPtr computed = Compute(c);
+  cache_.Put(c, computed, ApproxResultBytes(*computed));
+  return computed;
 }
 
 std::shared_ptr<const std::vector<uint32_t>> OutlierVerifier::Compute(
     const ContextVec& c) const {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  // Per-thread scratch: a probe in steady state allocates only the result
+  // vector it may cache, never population buffers.
+  thread_local PopulationScratch scratch;
+  thread_local std::vector<size_t> flagged;
   auto result = std::make_shared<std::vector<uint32_t>>();
-  const std::vector<uint32_t> rows = index_->RowIdsOf(c);
-  if (rows.size() < detector_->min_population()) return result;
-  std::vector<double> metric;
-  metric.reserve(rows.size());
-  const auto& column = index_->dataset().metric_column();
-  for (uint32_t row : rows) metric.push_back(column[row]);
-  const std::vector<size_t> flagged = detector_->Detect(metric);
+  const PopulationView view = index_->ViewOf(c, &scratch);
+  if (view.size() < detector_->min_population()) return result;
+  detector_->Detect(view.metric(), &flagged);
   result->reserve(flagged.size());
-  for (size_t pos : flagged) result->push_back(rows[pos]);
-  // Detect returns ascending positions; rows are ascending, so result is
-  // already sorted for binary_search.
+  // Detect returns ascending positions; row ids are ascending, so the
+  // result is already sorted for binary_search.
+  for (size_t pos : flagged) result->push_back(view.row_ids()[pos]);
   return result;
 }
 
-void OutlierVerifier::ClearCache() const {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  cache_.clear();
+VerifierStats OutlierVerifier::Stats() const {
+  const LruCacheStats cache_stats = cache_.Stats();
+  VerifierStats stats;
+  stats.evaluations = evaluations();
+  stats.cache_hits = cache_stats.hits;
+  stats.cache_misses = cache_stats.misses;
+  stats.cache_evictions = cache_stats.evictions;
+  stats.resident_bytes = cache_stats.resident_bytes;
+  stats.resident_entries = cache_stats.resident_entries;
+  return stats;
 }
+
+void OutlierVerifier::ClearCache() const { cache_.Clear(); }
 
 }  // namespace pcor

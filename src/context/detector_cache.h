@@ -2,36 +2,61 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/sharded_lru_cache.h"
 #include "src/context/context.h"
 #include "src/context/population_index.h"
 #include "src/outlier/detector.h"
 
 namespace pcor {
 
-/// \brief Options for the outlier verifier.
+/// \brief Options for the outlier verifier's memo cache.
 struct VerifierOptions {
-  /// Upper bound on memoized contexts; the cache is cleared wholesale when
-  /// exceeded (searches revisit recent contexts, so recency is a good
-  /// enough proxy without LRU bookkeeping).
-  size_t max_cache_entries = 1 << 20;
+  /// Approximate resident-byte budget for memoized results. The cache
+  /// evicts least-recently-used contexts per entry once the budget is
+  /// exceeded — it is persistent across batches, never cleared wholesale.
+  /// 0 = unbounded.
+  size_t max_cache_bytes = size_t{256} << 20;
+  /// Optional additional bound on resident entries. 0 = unbounded.
+  size_t max_cache_entries = 0;
+  /// Cache shards (rounded up to a power of two); 0 = one per hardware
+  /// thread. More shards = less mutex contention between sampler threads.
+  size_t num_shards = 0;
+  /// Ablation mode: reproduce the pre-LRU wholesale clear (drop a whole
+  /// shard when it overflows) instead of per-entry eviction. Used by
+  /// bench_micro_verifier_cache to measure what LRU buys.
+  bool wholesale_clear = false;
   /// Disable memoization entirely (for ablation benchmarks).
   bool enable_cache = true;
+};
+
+/// \brief Counter snapshot of the verifier and its cache.
+struct VerifierStats {
+  size_t evaluations = 0;     ///< full detector runs
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;  ///< entries dropped to satisfy the budget
+  size_t resident_bytes = 0;   ///< approximate bytes of memoized results
+  size_t resident_entries = 0; ///< memoized contexts currently resident
 };
 
 /// \brief The paper's outlier verification function f_M(D_C, V), memoized.
 ///
 /// Given a context C, the verifier filters the dataset through the
-/// population index, runs the detector on the population's metric values
-/// once, converts flagged positions to row ids, and caches the result —
-/// every later f_M(D_C, ·) query on the same context is a lookup. The
+/// population index (into per-thread scratch buffers — zero allocations in
+/// steady state), runs the detector on the population's contiguous metric
+/// span once, converts flagged positions to row ids, and caches the result
+/// — every later f_M(D_C, ·) query on the same context is a lookup. The
 /// graph-search samplers revisit contexts constantly (each vertex has t
 /// neighbors), so this memoization is the practical analogue of the paper's
-/// precomputed reference file. Thread-safe; the experiment harness shares
-/// one verifier across trial threads.
+/// precomputed reference file.
+///
+/// The memo is a ShardedLruCache: persistent across batches, with real
+/// per-entry LRU eviction against an approximate byte budget. Eviction is
+/// answer-invariant — f_M is deterministic, so dropping an entry can only
+/// cost a recomputation, never change a result. Thread-safe; the experiment
+/// harness shares one verifier across trial threads.
 class OutlierVerifier {
  public:
   OutlierVerifier(const PopulationIndex& index,
@@ -48,31 +73,37 @@ class OutlierVerifier {
 
   const PopulationIndex& index() const { return *index_; }
   const OutlierDetector& detector() const { return *detector_; }
+  const VerifierOptions& options() const { return options_; }
 
   /// \brief Number of full detector evaluations performed (cache misses).
-  size_t evaluations() const { return evaluations_.load(); }
-  /// \brief Number of cache hits served.
-  size_t cache_hits() const { return cache_hits_.load(); }
+  size_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  /// \brief Number of cache hits served (lock-free; the release hot path
+  /// reads this twice per release).
+  size_t cache_hits() const { return cache_.hits(); }
+
+  /// \brief Full counter snapshot (hits, misses, evictions, resident
+  /// bytes/entries) for reports and benchmarks.
+  VerifierStats Stats() const;
 
   /// \brief Drops all memoized results. Logically const: the cache is a
-  /// pure memo, so clearing it never changes any observable answer.
+  /// pure memo, so clearing it never changes any observable answer. Normal
+  /// operation never calls this — the LRU budget does the shedding — but
+  /// ablations and tests do.
   void ClearCache() const;
 
  private:
-  std::shared_ptr<const std::vector<uint32_t>> Compute(
-      const ContextVec& c) const;
+  using ResultPtr = std::shared_ptr<const std::vector<uint32_t>>;
+
+  ResultPtr Compute(const ContextVec& c) const;
 
   const PopulationIndex* index_;
   const OutlierDetector* detector_;
   VerifierOptions options_;
 
-  mutable std::shared_mutex mu_;
-  mutable std::unordered_map<ContextVec,
-                             std::shared_ptr<const std::vector<uint32_t>>,
-                             ContextVecHash>
-      cache_;
+  mutable ShardedLruCache<ContextVec, ResultPtr, ContextVecHash> cache_;
   mutable std::atomic<size_t> evaluations_{0};
-  mutable std::atomic<size_t> cache_hits_{0};
 };
 
 }  // namespace pcor

@@ -4,6 +4,15 @@
 
 namespace pcor {
 
+namespace {
+// Shared scratch for the value-returning convenience wrappers and the
+// counting queries, so the hot utility-scoring path (PopulationCount /
+// OverlapCount per probe) stays allocation-free without forcing every
+// caller to carry buffers. thread_local keeps it data-race-free.
+thread_local PopulationScratch t_scratch;
+thread_local BitVector t_overlap;
+}  // namespace
+
 PopulationIndex::PopulationIndex(const Dataset& dataset)
     : dataset_(&dataset) {
   const Schema& schema = dataset.schema();
@@ -20,60 +29,85 @@ PopulationIndex::PopulationIndex(const Dataset& dataset)
   }
 }
 
-BitVector PopulationIndex::PopulationOf(const ContextVec& c) const {
+void PopulationIndex::PopulationInto(const ContextVec& c,
+                                     BitVector* population,
+                                     BitVector* attr_union) const {
   const Schema& schema = dataset_->schema();
   PCOR_CHECK(c.num_bits() == schema.total_values())
       << "context length does not match schema";
-  BitVector acc(dataset_->num_rows(), true);
-  BitVector attr_union(dataset_->num_rows());
+  population->Assign(dataset_->num_rows(), true);
+  attr_union->Assign(dataset_->num_rows(), false);
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    attr_union.FillAll(false);
+    attr_union->FillAll(false);
     const size_t off = schema.value_offset(a);
     bool any = false;
     for (size_t v = 0; v < schema.attribute(a).domain_size(); ++v) {
       if (!c.Test(off + v)) continue;
-      attr_union.OrWith(bitmaps_[a][v]);
+      attr_union->OrWith(bitmaps_[a][v]);
       any = true;
     }
     if (!any) {
       // An attribute with no chosen value selects nothing.
-      return BitVector(dataset_->num_rows());
+      population->FillAll(false);
+      return;
     }
-    acc.AndWith(attr_union);
-    if (acc.NoneSet()) break;
+    population->AndWith(*attr_union);
+    if (population->NoneSet()) return;
   }
-  return acc;
+}
+
+PopulationView PopulationIndex::ViewOf(const ContextVec& c,
+                                       PopulationScratch* scratch) const {
+  PopulationInto(c, &scratch->population, &scratch->attr_union);
+  scratch->row_ids.clear();
+  scratch->metric.clear();
+  const size_t count = scratch->population.Count();
+  scratch->row_ids.reserve(count);
+  scratch->metric.reserve(count);
+  const auto& metric = dataset_->metric_column();
+  scratch->population.ForEachSetBit([&](uint32_t row) {
+    scratch->row_ids.push_back(row);
+    scratch->metric.push_back(metric[row]);
+  });
+  return PopulationView(&scratch->population, scratch->row_ids,
+                        scratch->metric);
+}
+
+BitVector PopulationIndex::PopulationOf(const ContextVec& c) const {
+  BitVector population;
+  BitVector attr_union;
+  PopulationInto(c, &population, &attr_union);
+  return population;
 }
 
 size_t PopulationIndex::PopulationCount(const ContextVec& c) const {
-  return PopulationOf(c).Count();
+  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
+  return t_scratch.population.Count();
 }
 
 size_t PopulationIndex::OverlapCount(const ContextVec& c1,
                                      const ContextVec& c2) const {
-  BitVector p1 = PopulationOf(c1);
-  BitVector p2 = PopulationOf(c2);
-  return p1.AndCount(p2);
+  PopulationInto(c1, &t_overlap, &t_scratch.attr_union);
+  PopulationInto(c2, &t_scratch.population, &t_scratch.attr_union);
+  return t_overlap.AndCount(t_scratch.population);
 }
 
 std::vector<uint32_t> PopulationIndex::RowIdsOf(const ContextVec& c) const {
-  return PopulationOf(c).ToIndices();
+  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
+  return t_scratch.population.ToIndices();
 }
 
 std::vector<double> PopulationIndex::MetricOf(const ContextVec& c) const {
-  std::vector<double> out;
-  BitVector pop = PopulationOf(c);
-  out.reserve(pop.Count());
-  const auto& metric = dataset_->metric_column();
-  pop.ForEachSetBit([&](uint32_t row) { out.push_back(metric[row]); });
-  return out;
+  const PopulationView view = ViewOf(c, &t_scratch);
+  return std::vector<double>(view.metric().begin(), view.metric().end());
 }
 
 bool PopulationIndex::MetricWithTarget(const ContextVec& c, uint32_t v_row,
                                        std::vector<double>* metric,
                                        size_t* v_position) const {
   metric->clear();
-  BitVector pop = PopulationOf(c);
+  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
+  const BitVector& pop = t_scratch.population;
   if (v_row >= pop.size() || !pop.Test(v_row)) return false;
   metric->reserve(pop.Count());
   const auto& column = dataset_->metric_column();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/common/bitvector.h"
@@ -7,6 +8,42 @@
 #include "src/data/dataset.h"
 
 namespace pcor {
+
+/// \brief Caller-owned scratch buffers for allocation-free population
+/// probes. Reuse one instance per thread (or per tight loop): after a few
+/// probes every buffer has reached its steady-state capacity and ViewOf /
+/// PopulationInto perform zero heap allocations.
+struct PopulationScratch {
+  BitVector population;        ///< the result bitmap
+  BitVector attr_union;        ///< per-attribute OR accumulator
+  std::vector<uint32_t> row_ids;
+  std::vector<double> metric;
+};
+
+/// \brief A materialized population, borrowing a PopulationScratch.
+///
+/// Valid only until the scratch is reused or destroyed; never store one.
+/// `row_ids` is ascending and `metric[i]` is the metric value of
+/// `row_ids[i]` — the contiguous span the detectors consume.
+class PopulationView {
+ public:
+  PopulationView() = default;
+  PopulationView(const BitVector* population,
+                 std::span<const uint32_t> row_ids,
+                 std::span<const double> metric)
+      : population_(population), row_ids_(row_ids), metric_(metric) {}
+
+  const BitVector& population() const { return *population_; }
+  std::span<const uint32_t> row_ids() const { return row_ids_; }
+  std::span<const double> metric() const { return metric_; }
+  size_t size() const { return row_ids_.size(); }
+  bool empty() const { return row_ids_.empty(); }
+
+ private:
+  const BitVector* population_ = nullptr;
+  std::span<const uint32_t> row_ids_;
+  std::span<const double> metric_;
+};
 
 /// \brief Bitmap index mapping contexts to their populations.
 ///
@@ -16,6 +53,11 @@ namespace pcor {
 /// computed word-wise — O(t * n/64) per context instead of a full row scan.
 /// This is the workhorse under the outlier verification f_M and both
 /// utility functions.
+///
+/// The scratch-based entry points (PopulationInto, ViewOf) are the hot
+/// path: they fill caller-owned buffers and allocate nothing in steady
+/// state. The value-returning methods are thin wrappers kept for
+/// convenience and tests.
 class PopulationIndex {
  public:
   explicit PopulationIndex(const Dataset& dataset);
@@ -23,6 +65,16 @@ class PopulationIndex {
   const Dataset& dataset() const { return *dataset_; }
   const Schema& schema() const { return dataset_->schema(); }
   size_t num_rows() const { return dataset_->num_rows(); }
+
+  /// \brief Fills `*population` with the bitmap of rows selected by `c`,
+  /// using `*attr_union` as the per-attribute accumulator. Allocation-free
+  /// once the two BitVectors have reached dataset size.
+  void PopulationInto(const ContextVec& c, BitVector* population,
+                      BitVector* attr_union) const;
+
+  /// \brief Materializes D_C (bitmap, row ids, metric values) into
+  /// `*scratch` and returns a view over it — the zero-allocation probe.
+  PopulationView ViewOf(const ContextVec& c, PopulationScratch* scratch) const;
 
   /// \brief Bitmap of rows selected by context `c`.
   BitVector PopulationOf(const ContextVec& c) const;

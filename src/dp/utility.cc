@@ -25,8 +25,13 @@ OverlapUtility::OverlapUtility(const OutlierVerifier& verifier,
 
 double OverlapUtility::Score(const ContextVec& c, uint32_t v_row) const {
   if (!verifier_->IsOutlierInContext(c, v_row)) return kNegInf;
-  BitVector pop = verifier_->index().PopulationOf(c);
-  return static_cast<double>(pop.AndCount(starting_population_));
+  // Per-thread scratch: Score runs on every probe of every sampler thread,
+  // so it must not allocate a fresh |D|-bit population each time.
+  thread_local PopulationScratch scratch;
+  verifier_->index().PopulationInto(c, &scratch.population,
+                                    &scratch.attr_union);
+  return static_cast<double>(
+      scratch.population.AndCount(starting_population_));
 }
 
 std::unique_ptr<UtilityFunction> MakeUtility(

@@ -81,6 +81,9 @@ Result<ExperimentResult> RunPcorExperiment(
 
   ExperimentResult compact;
   compact.failures = report.failures;
+  compact.f_evaluations = report.total_f_evaluations;
+  compact.cache_hits = report.cache_hits;
+  compact.cache_evictions = report.cache_evictions;
   for (size_t trial = 0; trial < report.entries.size(); ++trial) {
     const BatchEntry& entry = report.entries[trial];
     if (!entry.status.ok()) continue;

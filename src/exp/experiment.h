@@ -29,9 +29,22 @@ struct ExperimentResult {
   std::vector<double> runtimes;        ///< seconds, per trial
   size_t failures = 0;                 ///< trials whose release failed
 
+  // Verifier hot-path accounting for the experiment's batch (exact deltas
+  // of the engine's shared cache counters across the trial fan-out).
+  size_t f_evaluations = 0;   ///< detector runs
+  size_t cache_hits = 0;      ///< verifier cache hits
+  size_t cache_evictions = 0; ///< LRU evictions under memory pressure
+
   RuntimeSummary runtime() const { return SummarizeRuntimes(runtimes); }
   ConfidenceInterval utility_ci(double level = 0.90) const {
     return MeanConfidenceInterval(utility_ratios, level);
+  }
+  /// \brief Fraction of f_M probes served from the cache.
+  double cache_hit_rate() const {
+    const size_t probes = cache_hits + f_evaluations;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(probes);
   }
 };
 

@@ -10,9 +10,18 @@
 
 namespace pcor {
 
-bool OutlierDetector::IsOutlier(const std::vector<double>& values,
+std::vector<size_t> OutlierDetector::Detect(
+    std::span<const double> values) const {
+  std::vector<size_t> flagged;
+  Detect(values, &flagged);
+  return flagged;
+}
+
+bool OutlierDetector::IsOutlier(std::span<const double> values,
                                 size_t target) const {
-  const auto flagged = Detect(values);
+  // Detect's contract is ascending positions, so binary search — a linear
+  // scan here would double the cost of every single-target f_M probe.
+  const std::vector<size_t> flagged = Detect(values);
   return std::binary_search(flagged.begin(), flagged.end(), target);
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -11,10 +12,15 @@ namespace pcor {
 /// \brief Interface for deterministic, unsupervised outlier detectors.
 ///
 /// A detector sees only the metric values of a population D_C and returns
-/// the positions (indices into the input vector) it flags as outliers. The
+/// the positions (indices into the input span) it flags as outliers. The
 /// paper's PCOR framework treats the detector as a black box (requirement 4
 /// in Section 1.1); determinism is required by Definition 3.1 and is what
 /// makes the OCDP analysis of Section 3.1 meaningful.
+///
+/// The virtual core is span-based: detectors see one contiguous read-only
+/// block of doubles (the prerequisite for SIMD kernels) and fill a
+/// caller-owned position buffer, so a verifier probe reuses the same
+/// buffers instead of allocating per call.
 class OutlierDetector {
  public:
   virtual ~OutlierDetector() = default;
@@ -22,16 +28,20 @@ class OutlierDetector {
   /// \brief Stable identifier, e.g. "grubbs", "histogram", "lof".
   virtual std::string name() const = 0;
 
-  /// \brief Positions of outliers within `values`, ascending. Must be a
+  /// \brief Fills `*flagged` with the positions of outliers within
+  /// `values`, ascending (any previous contents are discarded). Must be a
   /// pure function of `values`.
-  virtual std::vector<size_t> Detect(
-      const std::vector<double>& values) const = 0;
+  virtual void Detect(std::span<const double> values,
+                      std::vector<size_t>* flagged) const = 0;
+
+  /// \brief Convenience overload returning the flagged positions. Derived
+  /// classes re-expose it with `using OutlierDetector::Detect;`.
+  std::vector<size_t> Detect(std::span<const double> values) const;
 
   /// \brief f_M restricted to one target: is `values[target]` an outlier in
-  /// this population? Default runs Detect and searches; detectors may
-  /// override with a cheaper test.
-  virtual bool IsOutlier(const std::vector<double>& values,
-                         size_t target) const;
+  /// this population? Default runs Detect and binary-searches the ascending
+  /// positions; detectors may override with a cheaper test.
+  virtual bool IsOutlier(std::span<const double> values, size_t target) const;
 
   /// \brief Smallest population the detector will run on; smaller
   /// populations report no outliers (statistical tests degenerate on tiny

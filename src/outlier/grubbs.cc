@@ -9,13 +9,15 @@ namespace pcor {
 
 GrubbsDetector::GrubbsDetector(GrubbsOptions options) : options_(options) {}
 
-std::vector<size_t> GrubbsDetector::Detect(
-    const std::vector<double>& values) const {
-  std::vector<size_t> flagged;
-  if (values.size() < options_.min_population) return flagged;
+void GrubbsDetector::Detect(std::span<const double> values,
+                            std::vector<size_t>* out) const {
+  std::vector<size_t>& flagged = *out;
+  flagged.clear();
+  if (values.size() < options_.min_population) return;
 
   // Active positions; flagged points are removed between iterations.
-  std::vector<size_t> active(values.size());
+  thread_local std::vector<size_t> active;
+  active.resize(values.size());
   for (size_t i = 0; i < values.size(); ++i) active[i] = i;
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
@@ -54,7 +56,6 @@ std::vector<size_t> GrubbsDetector::Detect(
     active.erase(active.begin() + static_cast<ptrdiff_t>(arg_pos));
   }
   std::sort(flagged.begin(), flagged.end());
-  return flagged;
 }
 
 }  // namespace pcor

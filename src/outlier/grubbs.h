@@ -29,7 +29,9 @@ class GrubbsDetector : public OutlierDetector {
   explicit GrubbsDetector(GrubbsOptions options = {});
 
   std::string name() const override { return "grubbs"; }
-  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  using OutlierDetector::Detect;
+  void Detect(std::span<const double> values,
+              std::vector<size_t>* flagged) const override;
   size_t min_population() const override { return options_.min_population; }
 
   const GrubbsOptions& options() const { return options_; }

@@ -8,17 +8,17 @@ namespace pcor {
 HistogramDetector::HistogramDetector(HistogramDetectorOptions options)
     : options_(options) {}
 
-std::vector<size_t> HistogramDetector::Detect(
-    const std::vector<double>& values) const {
-  std::vector<size_t> flagged;
+void HistogramDetector::Detect(std::span<const double> values,
+                               std::vector<size_t>* flagged) const {
+  flagged->clear();
   const size_t n = values.size();
-  if (n < options_.min_population) return flagged;
+  if (n < options_.min_population) return;
 
   const auto [min_it, max_it] = std::minmax_element(values.begin(),
                                                     values.end());
   const double lo = *min_it;
   const double hi = *max_it;
-  if (!(hi > lo)) return flagged;  // constant sample
+  if (!(hi > lo)) return;  // constant sample
 
   const size_t bins = std::max<size_t>(
       1, static_cast<size_t>(std::llround(std::sqrt(
@@ -32,16 +32,16 @@ std::vector<size_t> HistogramDetector::Detect(
     return static_cast<size_t>(b);
   };
 
-  std::vector<size_t> counts(bins, 0);
+  thread_local std::vector<size_t> counts;
+  counts.assign(bins, 0);
   for (double v : values) ++counts[bin_of(v)];
 
   const double threshold =
       options_.frequency_fraction * static_cast<double>(n);
   for (size_t i = 0; i < n; ++i) {
     const size_t c = counts[bin_of(values[i])];
-    if (static_cast<double>(c) < threshold) flagged.push_back(i);
+    if (static_cast<double>(c) < threshold) flagged->push_back(i);
   }
-  return flagged;
 }
 
 }  // namespace pcor

@@ -23,7 +23,9 @@ class HistogramDetector : public OutlierDetector {
   explicit HistogramDetector(HistogramDetectorOptions options = {});
 
   std::string name() const override { return "histogram"; }
-  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  using OutlierDetector::Detect;
+  void Detect(std::span<const double> values,
+              std::vector<size_t>* flagged) const override;
   size_t min_population() const override { return options_.min_population; }
 
   const HistogramDetectorOptions& options() const { return options_; }

@@ -8,19 +8,23 @@ namespace pcor {
 
 IqrDetector::IqrDetector(IqrOptions options) : options_(options) {}
 
-std::vector<size_t> IqrDetector::Detect(
-    const std::vector<double>& values) const {
-  std::vector<size_t> flagged;
-  if (values.size() < options_.min_population) return flagged;
-  const double q1 = Percentile(values, 0.25);
-  const double q3 = Percentile(values, 0.75);
+void IqrDetector::Detect(std::span<const double> values,
+                         std::vector<size_t>* flagged) const {
+  flagged->clear();
+  if (values.size() < options_.min_population) return;
+  // One sorted scratch copy serves both quartiles (the old code sorted the
+  // sample twice, once per Percentile call).
+  thread_local std::vector<double> sorted;
+  sorted.assign(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = PercentileOfSorted(sorted, 0.25);
+  const double q3 = PercentileOfSorted(sorted, 0.75);
   const double iqr = q3 - q1;
   const double lo = q1 - options_.multiplier * iqr;
   const double hi = q3 + options_.multiplier * iqr;
   for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i] < lo || values[i] > hi) flagged.push_back(i);
+    if (values[i] < lo || values[i] > hi) flagged->push_back(i);
   }
-  return flagged;
 }
 
 }  // namespace pcor

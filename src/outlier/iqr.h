@@ -21,7 +21,9 @@ class IqrDetector : public OutlierDetector {
   explicit IqrDetector(IqrOptions options = {});
 
   std::string name() const override { return "iqr"; }
-  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  using OutlierDetector::Detect;
+  void Detect(std::span<const double> values,
+              std::vector<size_t>* flagged) const override;
   size_t min_population() const override { return options_.min_population; }
 
  private:

@@ -20,26 +20,33 @@ inline double LrdRatio(double numer, double denom) {
 LofDetector::LofDetector(LofOptions options) : options_(options) {}
 
 std::vector<double> LofDetector::Scores(
-    const std::vector<double>& values) const {
+    std::span<const double> values) const {
   const size_t n = values.size();
   const size_t k = options_.k;
   std::vector<double> scores(n, 1.0);
   if (n <= k + 1) return scores;  // not enough points for a k-neighborhood
 
   // Sort positions by (value, original index) for a deterministic order.
-  std::vector<size_t> order(n);
+  // The working buffers are per-thread scratch: LOF runs on every verifier
+  // miss and must not reallocate five vectors per probe.
+  thread_local std::vector<size_t> order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (values[a] != values[b]) return values[a] < values[b];
     return a < b;
   });
-  std::vector<double> x(n);
+  thread_local std::vector<double> x;
+  x.resize(n);
   for (size_t i = 0; i < n; ++i) x[i] = values[order[i]];
 
   // Exact k-NN window per sorted position: expand toward the nearer side,
   // ties toward the left.
-  std::vector<size_t> win_lo(n), win_hi(n);
-  std::vector<double> kdist(n);
+  thread_local std::vector<size_t> win_lo, win_hi;
+  thread_local std::vector<double> kdist;
+  win_lo.resize(n);
+  win_hi.resize(n);
+  kdist.resize(n);
   for (size_t i = 0; i < n; ++i) {
     size_t lo = i, hi = i;
     for (size_t step = 0; step < k; ++step) {
@@ -58,7 +65,8 @@ std::vector<double> LofDetector::Scores(
   }
 
   // Local reachability density in sorted space.
-  std::vector<double> lrd(n);
+  thread_local std::vector<double> lrd;
+  lrd.resize(n);
   for (size_t i = 0; i < n; ++i) {
     double reach_sum = 0.0;
     for (size_t j = win_lo[i]; j <= win_hi[i]; ++j) {
@@ -80,15 +88,14 @@ std::vector<double> LofDetector::Scores(
   return scores;
 }
 
-std::vector<size_t> LofDetector::Detect(
-    const std::vector<double>& values) const {
-  std::vector<size_t> flagged;
-  if (values.size() < options_.min_population) return flagged;
+void LofDetector::Detect(std::span<const double> values,
+                         std::vector<size_t>* flagged) const {
+  flagged->clear();
+  if (values.size() < options_.min_population) return;
   const std::vector<double> scores = Scores(values);
   for (size_t i = 0; i < scores.size(); ++i) {
-    if (scores[i] > options_.score_threshold) flagged.push_back(i);
+    if (scores[i] > options_.score_threshold) flagged->push_back(i);
   }
-  return flagged;
 }
 
 }  // namespace pcor

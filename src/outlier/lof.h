@@ -35,12 +35,14 @@ class LofDetector : public OutlierDetector {
   explicit LofDetector(LofOptions options = {});
 
   std::string name() const override { return "lof"; }
-  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  using OutlierDetector::Detect;
+  void Detect(std::span<const double> values,
+              std::vector<size_t>* flagged) const override;
   size_t min_population() const override { return options_.min_population; }
 
   /// \brief LOF scores aligned with `values` (exposed for tests and the
   /// naive-reference comparison).
-  std::vector<double> Scores(const std::vector<double>& values) const;
+  std::vector<double> Scores(std::span<const double> values) const;
 
   const LofOptions& options() const { return options_; }
 

@@ -8,20 +8,19 @@ namespace pcor {
 
 ZscoreDetector::ZscoreDetector(ZscoreOptions options) : options_(options) {}
 
-std::vector<size_t> ZscoreDetector::Detect(
-    const std::vector<double>& values) const {
-  std::vector<size_t> flagged;
-  if (values.size() < options_.min_population) return flagged;
+void ZscoreDetector::Detect(std::span<const double> values,
+                            std::vector<size_t>* flagged) const {
+  flagged->clear();
+  if (values.size() < options_.min_population) return;
   RunningStats rs;
   for (double v : values) rs.Add(v);
   const double sd = rs.stddev();
-  if (sd == 0.0) return flagged;
+  if (sd == 0.0) return;
   for (size_t i = 0; i < values.size(); ++i) {
     if (std::abs(values[i] - rs.mean()) / sd > options_.threshold) {
-      flagged.push_back(i);
+      flagged->push_back(i);
     }
   }
-  return flagged;
 }
 
 }  // namespace pcor

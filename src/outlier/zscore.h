@@ -18,7 +18,9 @@ class ZscoreDetector : public OutlierDetector {
   explicit ZscoreDetector(ZscoreOptions options = {});
 
   std::string name() const override { return "zscore"; }
-  std::vector<size_t> Detect(const std::vector<double>& values) const override;
+  using OutlierDetector::Detect;
+  void Detect(std::span<const double> values,
+              std::vector<size_t>* flagged) const override;
   size_t min_population() const override { return options_.min_population; }
 
  private:

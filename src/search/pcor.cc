@@ -47,6 +47,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
 
   PcorRelease release;
   const size_t evals_before = verifier_.evaluations();
+  const size_t hits_before = verifier_.cache_hits();
 
   const bool needs_start = options.sampler == SamplerKind::kRandomWalk ||
                            options.sampler == SamplerKind::kDfs ||
@@ -97,6 +98,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
   release.num_candidates = outcome.samples.size();
   release.probes = outcome.probes;
   release.f_evaluations = verifier_.evaluations() - evals_before;
+  release.cache_hits = verifier_.cache_hits() - hits_before;
   release.utility_score = scores[pick];
   release.hit_probe_cap = outcome.hit_probe_cap;
   release.seconds = timer.ElapsedSeconds();
@@ -124,8 +126,10 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
   report.threads = std::max<size_t>(1, std::min(num_threads, requests.size()));
   report.entries.resize(requests.size());
 
-  const size_t evals_before = verifier_.evaluations();
-  const size_t hits_before = verifier_.cache_hits();
+  // Batch-level counter deltas against the persistent shared verifier; its
+  // cache is intentionally NOT dropped between batches — a warm cache is
+  // the point of keeping it on the engine.
+  const VerifierStats stats_before = verifier_.Stats();
 
   // Each worker drains a shared index counter; entry i's Rng stream depends
   // only on (seed, i), never on which worker claims it, so scheduling
@@ -171,8 +175,12 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
     report.total_probes += entry.release.probes;
     report.total_epsilon_spent += entry.release.epsilon_spent;
   }
-  report.total_f_evaluations = verifier_.evaluations() - evals_before;
-  report.cache_hits = verifier_.cache_hits() - hits_before;
+  report.verifier_stats = verifier_.Stats();
+  report.total_f_evaluations =
+      report.verifier_stats.evaluations - stats_before.evaluations;
+  report.cache_hits = report.verifier_stats.cache_hits - stats_before.cache_hits;
+  report.cache_evictions =
+      report.verifier_stats.cache_evictions - stats_before.cache_evictions;
   report.seconds = timer.ElapsedSeconds();
   return report;
 }

@@ -46,6 +46,7 @@ struct PcorRelease {
   size_t num_candidates = 0;     ///< |C_M| the final draw chose from
   size_t probes = 0;             ///< candidate contexts examined
   size_t f_evaluations = 0;      ///< detector runs (cache misses)
+  size_t cache_hits = 0;         ///< verifier cache hits during the release
   double utility_score = 0.0;    ///< u_V(D, C_p) — private to the owner
   double seconds = 0.0;          ///< wall time of the release
   bool hit_probe_cap = false;
@@ -73,10 +74,11 @@ struct BatchEntry {
 
 /// \brief Aggregated outcome of ReleaseBatch. Entries keep input order.
 ///
-/// `total_f_evaluations` / `cache_hits` are exact batch-level deltas of the
-/// shared verifier's counters; the per-entry `release.f_evaluations` is
-/// only an attribution estimate when the batch runs multi-threaded
-/// (concurrent releases interleave on the shared cache).
+/// `total_f_evaluations` / `cache_hits` / `cache_evictions` are exact
+/// batch-level deltas of the shared verifier's counters; the per-entry
+/// `release.f_evaluations` / `release.cache_hits` are only attribution
+/// estimates when the batch runs multi-threaded (concurrent releases
+/// interleave on the shared cache).
 struct BatchReleaseReport {
   std::vector<BatchEntry> entries;
   size_t threads = 1;             ///< worker threads the batch ran on
@@ -84,6 +86,10 @@ struct BatchReleaseReport {
   size_t total_probes = 0;        ///< candidate contexts examined
   size_t total_f_evaluations = 0; ///< detector runs (verifier cache misses)
   size_t cache_hits = 0;          ///< verifier cache hits during the batch
+  size_t cache_evictions = 0;     ///< LRU evictions during the batch
+  /// End-of-batch snapshot of the shared verifier; the cache is persistent
+  /// across batches, so resident_bytes/entries carry over to the next one.
+  VerifierStats verifier_stats;
   double total_epsilon_spent = 0.0;  ///< sum over successful releases
   double seconds = 0.0;           ///< wall time of the whole batch
 
@@ -134,8 +140,12 @@ class PcorEngine {
 
   /// \brief The Rng stream seed ReleaseBatch assigns to entry `index`.
   /// Exposed so callers (experiment harness, tests) can replay one trial.
+  /// The Weyl step keeps (seed, index) pairs distinct; the SplitMix64
+  /// finalizer then avalanches them so neighboring trials start from
+  /// decorrelated streams (a bare linear step leaves xoshiro's SplitMix64
+  /// seeding with nearly-identical low bits across a batch).
   static uint64_t BatchTrialSeed(uint64_t seed, size_t index) {
-    return seed + 0x9e3779b9ULL * (index + 1);
+    return SplitMix64Mix(seed + 0x9e3779b97f4a7c15ULL * (index + 1));
   }
 
   const Dataset& dataset() const { return *dataset_; }

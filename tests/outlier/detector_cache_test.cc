@@ -82,23 +82,90 @@ TEST_F(VerifierTest, CacheDisableAlwaysRecomputes) {
   EXPECT_EQ(verifier.cache_hits(), 0u);
 }
 
-TEST_F(VerifierTest, CacheCapClearsWholesale) {
+TEST_F(VerifierTest, EntryBudgetEvictsLruButStaysCorrect) {
   VerifierOptions options;
   options.max_cache_entries = 4;
+  options.num_shards = 1;
   OutlierVerifier verifier(index_, detector_, options);
-  // Query more distinct contexts than the cap.
+  // Query more distinct contexts than the cap: the cold end is evicted
+  // entry by entry, never the whole cache.
   const size_t t = grid_.dataset.schema().total_values();
   for (size_t bit = 0; bit < t; ++bit) {
     ContextVec c = FullCtx();
     c.Clear(bit);
     verifier.OutliersInContext(c);
   }
+  const VerifierStats stats = verifier.Stats();
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_LE(stats.resident_entries, 4u);
   // Still answers correctly afterwards: agree with an uncached verifier.
   VerifierOptions no_cache;
   no_cache.enable_cache = false;
   OutlierVerifier fresh(index_, detector_, no_cache);
   EXPECT_EQ(*verifier.OutliersInContext(FullCtx()),
             *fresh.OutliersInContext(FullCtx()));
+}
+
+TEST_F(VerifierTest, StatsSnapshotTracksResidency) {
+  OutlierVerifier verifier(index_, detector_);
+  verifier.OutliersInContext(FullCtx());
+  verifier.OutliersInContext(FullCtx());
+  const VerifierStats stats = verifier.Stats();
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_EQ(stats.resident_entries, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  verifier.ClearCache();
+  EXPECT_EQ(verifier.Stats().resident_entries, 0u);
+  EXPECT_EQ(verifier.Stats().resident_bytes, 0u);
+}
+
+TEST_F(VerifierTest, HammerAllCachePoliciesAgree) {
+  // Satellite coverage: one deterministic probe mix answered by four
+  // verifiers — cache disabled, wholesale-clear ablation, a tiny LRU budget
+  // that forces constant eviction, and the default — must be identical
+  // under 8-way concurrent hammering.
+  VerifierOptions no_cache;
+  no_cache.enable_cache = false;
+  OutlierVerifier uncached(index_, detector_, no_cache);
+
+  VerifierOptions wholesale;
+  wholesale.wholesale_clear = true;
+  wholesale.max_cache_bytes = 2048;
+  wholesale.num_shards = 1;
+  OutlierVerifier clearing(index_, detector_, wholesale);
+
+  VerifierOptions tiny_lru;
+  tiny_lru.max_cache_bytes = 1024;
+  tiny_lru.num_shards = 2;
+  OutlierVerifier evicting(index_, detector_, tiny_lru);
+
+  OutlierVerifier roomy(index_, detector_);
+
+  // All 2^t subsets of the full context, visited repeatedly from all
+  // threads so entries are hammered while being evicted.
+  const size_t t = grid_.dataset.schema().total_values();
+  const size_t num_contexts = size_t{1} << t;
+  std::atomic<size_t> mismatches{0};
+  ParallelFor(num_contexts * 4, 8, [&](size_t i) {
+    ContextVec c(t);
+    const size_t bits = i % num_contexts;
+    for (size_t bit = 0; bit < t; ++bit) {
+      if ((bits >> bit) & 1) c.Set(bit);
+    }
+    const auto expected = uncached.OutliersInContext(c);
+    if (*clearing.OutliersInContext(c) != *expected ||
+        *evicting.OutliersInContext(c) != *expected ||
+        *roomy.OutliersInContext(c) != *expected) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The tiny budget must actually have been under pressure.
+  EXPECT_GT(evicting.Stats().cache_evictions, 0u);
+  EXPECT_GT(clearing.Stats().cache_evictions, 0u);
 }
 
 TEST_F(VerifierTest, SmallPopulationGatedByDetectorMinPopulation) {
@@ -204,11 +271,11 @@ TEST_F(VerifierTest, ConcurrentReleasesSurviveCacheClears) {
   EXPECT_EQ(mismatches.load(), 0u);
 }
 
-TEST_F(VerifierTest, CacheCapEvictionUnderConcurrentReleases) {
-  // A tiny cache forces wholesale clears mid-release; correctness must not
-  // depend on entries staying resident.
+TEST_F(VerifierTest, CacheBudgetEvictionUnderConcurrentReleases) {
+  // A tiny byte budget forces LRU eviction mid-release; correctness must
+  // not depend on entries staying resident.
   VerifierOptions small_cache;
-  small_cache.max_cache_entries = 8;
+  small_cache.max_cache_bytes = 2048;
   PcorEngine engine(grid_.dataset, detector_, small_cache);
   PcorEngine reference(grid_.dataset, detector_);
   PcorOptions options;
