@@ -1,0 +1,213 @@
+#pragma once
+
+// BENCH_JSON emission with syntax validation.
+//
+// CI collects every `BENCH_JSON {...}` line the benches print into
+// BENCH_results.json (see the bench-json workflow job). A malformed line
+// would silently corrupt that artifact, so every bench routes its lines
+// through BenchJsonEmitter: the line is parsed as JSON *before* printing,
+// a parse failure is reported on stderr, and the bench's main() turns
+// `!emitter.ok()` into a non-zero exit — format drift fails the pipeline
+// instead of poisoning the perf history.
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace pcor {
+namespace bench {
+
+namespace json_detail {
+
+inline void SkipWs(std::string_view s, size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\n' ||
+                           s[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+inline bool ParseValue(std::string_view s, size_t* i);  // forward
+
+inline bool ParseLiteral(std::string_view s, size_t* i,
+                         std::string_view lit) {
+  if (s.substr(*i, lit.size()) != lit) return false;
+  *i += lit.size();
+  return true;
+}
+
+inline bool ParseString(std::string_view s, size_t* i) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) return false;
+      const char e = s[*i];
+      if (e == 'u') {
+        for (int h = 0; h < 4; ++h) {
+          ++*i;
+          if (*i >= s.size() || !std::isxdigit(static_cast<unsigned char>(
+                                    s[*i]))) {
+            return false;
+          }
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      return false;  // raw control character inside a string
+    }
+    ++*i;
+  }
+  return false;  // unterminated
+}
+
+inline bool ParseNumber(std::string_view s, size_t* i) {
+  const size_t start = *i;
+  if (*i < s.size() && s[*i] == '-') ++*i;
+  size_t digits = 0;
+  while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (digits > 1 && s[start + (s[start] == '-' ? 1 : 0)] == '0') {
+    return false;  // leading zero
+  }
+  if (*i < s.size() && s[*i] == '.') {
+    ++*i;
+    size_t frac = 0;
+    while (*i < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+      ++frac;
+    }
+    if (frac == 0) return false;
+  }
+  if (*i < s.size() && (s[*i] == 'e' || s[*i] == 'E')) {
+    ++*i;
+    if (*i < s.size() && (s[*i] == '+' || s[*i] == '-')) ++*i;
+    size_t exp = 0;
+    while (*i < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[*i]))) {
+      ++*i;
+      ++exp;
+    }
+    if (exp == 0) return false;
+  }
+  return true;
+}
+
+inline bool ParseObject(std::string_view s, size_t* i) {
+  ++*i;  // consume '{'
+  SkipWs(s, i);
+  if (*i < s.size() && s[*i] == '}') {
+    ++*i;
+    return true;
+  }
+  while (true) {
+    SkipWs(s, i);
+    if (!ParseString(s, i)) return false;
+    SkipWs(s, i);
+    if (*i >= s.size() || s[*i] != ':') return false;
+    ++*i;
+    if (!ParseValue(s, i)) return false;
+    SkipWs(s, i);
+    if (*i >= s.size()) return false;
+    if (s[*i] == ',') {
+      ++*i;
+      continue;
+    }
+    if (s[*i] == '}') {
+      ++*i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseArray(std::string_view s, size_t* i) {
+  ++*i;  // consume '['
+  SkipWs(s, i);
+  if (*i < s.size() && s[*i] == ']') {
+    ++*i;
+    return true;
+  }
+  while (true) {
+    if (!ParseValue(s, i)) return false;
+    SkipWs(s, i);
+    if (*i >= s.size()) return false;
+    if (s[*i] == ',') {
+      ++*i;
+      continue;
+    }
+    if (s[*i] == ']') {
+      ++*i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseValue(std::string_view s, size_t* i) {
+  SkipWs(s, i);
+  if (*i >= s.size()) return false;
+  switch (s[*i]) {
+    case '{':
+      return ParseObject(s, i);
+    case '[':
+      return ParseArray(s, i);
+    case '"':
+      return ParseString(s, i);
+    case 't':
+      return ParseLiteral(s, i, "true");
+    case 'f':
+      return ParseLiteral(s, i, "false");
+    case 'n':
+      return ParseLiteral(s, i, "null");
+    default:
+      return ParseNumber(s, i);
+  }
+}
+
+}  // namespace json_detail
+
+/// \brief True iff `s` is one complete, syntactically valid JSON value.
+inline bool ValidJson(std::string_view s) {
+  size_t i = 0;
+  if (!json_detail::ParseValue(s, &i)) return false;
+  json_detail::SkipWs(s, &i);
+  return i == s.size();
+}
+
+/// \brief Validating BENCH_JSON printer; see the file comment.
+class BenchJsonEmitter {
+ public:
+  /// \brief Prints `BENCH_JSON <json>` when `json` parses; otherwise
+  /// reports the bad line on stderr and latches failure.
+  void Emit(const std::string& json) {
+    if (!ValidJson(json)) {
+      std::fprintf(stderr, "BENCH_JSON VALIDATION FAILED: %s\n",
+                   json.c_str());
+      ++failures_;
+      return;
+    }
+    std::printf("BENCH_JSON %s\n", json.c_str());
+  }
+
+  size_t failures() const { return failures_; }
+  bool ok() const { return failures_ == 0; }
+
+ private:
+  size_t failures_ = 0;
+};
+
+}  // namespace bench
+}  // namespace pcor

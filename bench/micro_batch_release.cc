@@ -2,7 +2,9 @@
 // query outliers at 1/2/4/8 worker threads. Records wall time, speedup over
 // the single-thread run, and shared-cache statistics, and verifies that
 // every multi-thread run releases bit-identical contexts to the 1-thread
-// run for the same seed (the engine's determinism contract).
+// run for the same seed (the engine's determinism contract). Every thread
+// count emits one validated BENCH_JSON line for the CI perf artifact.
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 
 using namespace pcor;
@@ -54,6 +56,7 @@ int main() {
   options.num_samples = 20;
   options.total_epsilon = 0.2;
 
+  BenchJsonEmitter emitter;
   TableRenderer table({"Threads", "Wall", "Speedup", "Releases/s", "f_evals",
                        "Cache hits", "Evictions", "Resident MB", "Failures"});
   double base_seconds = 0.0;
@@ -84,6 +87,16 @@ int main() {
                                       report.verifier_stats.resident_bytes) /
                                       (1024.0 * 1024.0)),
                   strings::Format("%zu", report.failures)});
+    emitter.Emit(strings::Format(
+        "{\"bench\":\"micro_batch_release\",\"threads\":%zu,"
+        "\"releases\":%zu,\"wall_s\":%.6f,\"speedup\":%.3f,"
+        "\"releases_per_s\":%.1f,\"f_evals\":%zu,\"cache_hits\":%zu,"
+        "\"failures\":%zu,\"kernel_backend\":\"%s\"}",
+        threads, rows.size(), report.seconds,
+        base_seconds / report.seconds,
+        static_cast<double>(rows.size()) / report.seconds,
+        report.total_f_evaluations, report.cache_hits, report.failures,
+        report.kernel_backend.c_str()));
   }
 
   report::SectionHeader("ReleaseBatch scaling");
@@ -93,5 +106,8 @@ int main() {
       "also start with a warm shared verifier cache (see f_evals)");
   std::printf("determinism across thread counts: %s\n",
               identical ? "IDENTICAL" : "MISMATCH");
-  return identical ? 0 : 1;
+  if (!emitter.ok()) {
+    std::printf("BENCH_JSON validation failures: %zu\n", emitter.failures());
+  }
+  return (identical && emitter.ok()) ? 0 : 1;
 }

@@ -8,7 +8,9 @@
 // `BENCH_JSON {...}` line so CI can start tracking the hot path over time.
 #include <cinttypes>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "src/common/simd.h"
 
 using namespace pcor;
 using namespace pcor::bench;
@@ -19,7 +21,7 @@ struct Ablation {
   const char* mode;    // "none" | "clear_all" | "sharded_lru"
   size_t budget_bytes; // 0 = unbounded / not applicable
   double hit_rate = 0.0;
-  VerifierStats stats;
+  VerifierStats stats{};
   double seconds = 0.0;
 };
 
@@ -116,6 +118,7 @@ int main() {
     }
   }
 
+  BenchJsonEmitter emitter;
   TableRenderer table({"Policy", "Budget KiB", "Wall", "Hit rate", "f_evals",
                        "Evictions", "Resident KiB"});
   for (const Ablation& ablation : ablations) {
@@ -129,15 +132,16 @@ int main() {
          strings::Format("%zu", ablation.stats.evaluations),
          strings::Format("%zu", ablation.stats.cache_evictions),
          strings::Format("%zu", ablation.stats.resident_bytes >> 10)});
-    std::printf(
-        "BENCH_JSON {\"bench\":\"micro_verifier_cache\",\"mode\":\"%s\","
+    emitter.Emit(strings::Format(
+        "{\"bench\":\"micro_verifier_cache\",\"mode\":\"%s\","
         "\"budget_bytes\":%zu,\"hits\":%zu,\"misses\":%zu,"
         "\"hit_rate\":%.6f,\"evictions\":%zu,\"resident_bytes\":%zu,"
-        "\"f_evals\":%zu,\"wall_s\":%.6f}\n",
+        "\"f_evals\":%zu,\"wall_s\":%.6f,\"kernel_backend\":\"%s\"}",
         ablation.mode, ablation.budget_bytes, ablation.stats.cache_hits,
         ablation.stats.cache_misses, ablation.hit_rate,
         ablation.stats.cache_evictions, ablation.stats.resident_bytes,
-        ablation.stats.evaluations, ablation.seconds);
+        ablation.stats.evaluations, ablation.seconds,
+        simd::ActiveBackendName()));
   }
   report::SectionHeader("f_M cache ablation");
   std::printf("%s", table.Render().c_str());
@@ -169,5 +173,8 @@ int main() {
               identical ? "IDENTICAL" : "MISMATCH");
   std::printf("sharded LRU vs wholesale clear: %s\n",
               lru_wins && lru_never_loses ? "WINS" : "DOES NOT WIN");
-  return (identical && lru_wins && lru_never_loses) ? 0 : 1;
+  if (!emitter.ok()) {
+    std::printf("BENCH_JSON validation failures: %zu\n", emitter.failures());
+  }
+  return (identical && lru_wins && lru_never_loses && emitter.ok()) ? 0 : 1;
 }

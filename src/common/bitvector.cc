@@ -37,7 +37,9 @@ void BitVector::FillAll(bool value) {
 
 size_t BitVector::Count() const {
   size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(w));
+  }
   return total;
 }
 

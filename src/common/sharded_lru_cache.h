@@ -162,7 +162,8 @@ class ShardedLruCache {
 
   // Beyond the caller's value cost, every resident entry pays for a map
   // node (key + Node) plus hash-table control structures.
-  static constexpr size_t kEntryOverhead = sizeof(K) + sizeof(Node) + 4 * sizeof(void*);
+  static constexpr size_t kEntryOverhead =
+      sizeof(K) + sizeof(Node) + 4 * sizeof(void*);
 
   static size_t ResolveShardCount(size_t requested) {
     size_t n = requested;

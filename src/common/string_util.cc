@@ -51,7 +51,9 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
 
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
@@ -72,7 +74,13 @@ std::string Format(const char* fmt, ...) {
 }
 
 std::string HumanDuration(double seconds) {
-  if (seconds < 0) return "-" + HumanDuration(-seconds);
+  if (seconds < 0) {
+    // Built with insert() rather than `"-" + ...` — the rvalue operator+
+    // trips a GCC 12 -Wrestrict false positive under -O3 -Werror.
+    std::string out = HumanDuration(-seconds);
+    out.insert(out.begin(), '-');
+    return out;
+  }
   if (seconds < 1.0) return Format("%.0fms", seconds * 1000.0);
   if (seconds < 60.0) return Format("%.1fs", seconds);
   if (seconds < 3600.0) {

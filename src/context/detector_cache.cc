@@ -20,8 +20,8 @@ LruCacheOptions ToCacheOptions(const VerifierOptions& options) {
 // the shared_ptr control block. The cache adds its own per-entry overhead
 // (key + node + hash-table bookkeeping) on top.
 size_t ApproxResultBytes(const std::vector<uint32_t>& outliers) {
-  return sizeof(std::vector<uint32_t>) + outliers.capacity() * sizeof(uint32_t) +
-         2 * sizeof(void*);
+  return sizeof(std::vector<uint32_t>) +
+         outliers.capacity() * sizeof(uint32_t) + 2 * sizeof(void*);
 }
 
 }  // namespace

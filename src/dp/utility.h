@@ -68,9 +68,9 @@ enum class UtilityKind {
 
 /// \brief Factory: builds the utility for `kind`. For kOverlapWithStart the
 /// starting context must be the sampler's C_V.
-std::unique_ptr<UtilityFunction> MakeUtility(UtilityKind kind,
-                                             const OutlierVerifier& verifier,
-                                             const ContextVec& starting_context);
+std::unique_ptr<UtilityFunction> MakeUtility(
+    UtilityKind kind, const OutlierVerifier& verifier,
+    const ContextVec& starting_context);
 
 /// \brief Stable name for reports.
 std::string UtilityKindName(UtilityKind kind);

@@ -81,6 +81,7 @@ Result<ExperimentResult> RunPcorExperiment(
 
   ExperimentResult compact;
   compact.failures = report.failures;
+  compact.kernel_backend = report.kernel_backend;
   compact.f_evaluations = report.total_f_evaluations;
   compact.cache_hits = report.cache_hits;
   compact.cache_evictions = report.cache_evictions;

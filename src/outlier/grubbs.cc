@@ -2,10 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "src/common/math_util.h"
+#include "src/common/simd.h"
 
 namespace pcor {
+
+namespace {
+
+// GrubbsCriticalValue inverts the regularized incomplete beta function
+// iteratively — microseconds per call — and the verifier asks for the same
+// (n, alpha) pairs over and over: every probe of a size-n population walks
+// n, n-1, ... through the remove-and-retest loop. Memoized per thread so
+// the vectorized passes, not the quantile inversion, dominate Detect.
+double CachedGrubbsCritical(size_t n, double alpha) {
+  struct Entry {
+    double alpha;
+    double g_crit;
+  };
+  thread_local std::unordered_map<size_t, Entry> memo;
+  auto [it, inserted] = memo.try_emplace(n, Entry{alpha, 0.0});
+  if (inserted || it->second.alpha != alpha) {
+    it->second = Entry{alpha, math::GrubbsCriticalValue(n, alpha)};
+  }
+  return it->second.g_crit;
+}
+
+}  // namespace
 
 GrubbsDetector::GrubbsDetector(GrubbsOptions options) : options_(options) {}
 
@@ -15,45 +39,35 @@ void GrubbsDetector::Detect(std::span<const double> values,
   flagged.clear();
   if (values.size() < options_.min_population) return;
 
-  // Active positions; flagged points are removed between iterations.
-  thread_local std::vector<size_t> active;
-  active.resize(values.size());
-  for (size_t i = 0; i < values.size(); ++i) active[i] = i;
+  // The remove-and-retest loop runs on a compacted copy of the still-active
+  // values plus a parallel original-position array, so every pass (mean,
+  // squared deviations, argmax |x - mean|) streams one contiguous block
+  // through the SIMD kernels instead of gathering through an index list.
+  thread_local std::vector<double> vals;
+  thread_local std::vector<size_t> pos;
+  vals.assign(values.begin(), values.end());
+  pos.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) pos[i] = i;
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    const size_t n = active.size();
+    const size_t n = vals.size();
     if (n < std::max<size_t>(3, options_.min_population)) break;
 
-    double mean = 0.0;
-    for (size_t idx : active) mean += values[idx];
-    mean /= static_cast<double>(n);
-    double ss = 0.0;
-    for (size_t idx : active) {
-      const double d = values[idx] - mean;
-      ss += d * d;
-    }
-    const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+    const simd::MeanVar mv = simd::MeanAndVariance(vals);
+    const double sd = std::sqrt(mv.variance);
     if (sd == 0.0) break;  // constant sample: no outliers
 
-    // Most extreme point; ties break toward the smaller position so the
-    // procedure is fully deterministic.
-    size_t arg = active[0];
-    double best = -1.0;
-    size_t arg_pos = 0;
-    for (size_t j = 0; j < active.size(); ++j) {
-      const double dev = std::abs(values[active[j]] - mean);
-      if (dev > best) {
-        best = dev;
-        arg = active[j];
-        arg_pos = j;
-      }
-    }
-    const double g = best / sd;
-    const double g_crit = math::GrubbsCriticalValue(n, options_.alpha);
+    // Most extreme point; ties break toward the smaller position (the
+    // compaction preserves ascending original order) so the procedure is
+    // fully deterministic.
+    const simd::ArgAbsDev extreme = simd::ArgMaxAbsDeviation(vals, mv.mean);
+    const double g = extreme.abs_dev / sd;
+    const double g_crit = CachedGrubbsCritical(n, options_.alpha);
     if (g <= g_crit) break;
 
-    flagged.push_back(arg);
-    active.erase(active.begin() + static_cast<ptrdiff_t>(arg_pos));
+    flagged.push_back(pos[extreme.index]);
+    vals.erase(vals.begin() + static_cast<ptrdiff_t>(extreme.index));
+    pos.erase(pos.begin() + static_cast<ptrdiff_t>(extreme.index));
   }
   std::sort(flagged.begin(), flagged.end());
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/simd.h"
+
 namespace pcor {
 
 HistogramDetector::HistogramDetector(HistogramDetectorOptions options)
@@ -14,10 +16,9 @@ void HistogramDetector::Detect(std::span<const double> values,
   const size_t n = values.size();
   if (n < options_.min_population) return;
 
-  const auto [min_it, max_it] = std::minmax_element(values.begin(),
-                                                    values.end());
-  const double lo = *min_it;
-  const double hi = *max_it;
+  const simd::MinMax mm = simd::MinMaxOf(values);
+  const double lo = mm.min;
+  const double hi = mm.max;
   if (!(hi > lo)) return;  // constant sample
 
   const size_t bins = std::max<size_t>(
@@ -38,9 +39,15 @@ void HistogramDetector::Detect(std::span<const double> values,
 
   const double threshold =
       options_.frequency_fraction * static_cast<double>(n);
+  // Rare-bin membership folds into one byte per bin, so the flagging pass
+  // is a table lookup instead of recomputing the float compare per point.
+  thread_local std::vector<unsigned char> rare;
+  rare.resize(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    rare[b] = static_cast<double>(counts[b]) < threshold ? 1 : 0;
+  }
   for (size_t i = 0; i < n; ++i) {
-    const size_t c = counts[bin_of(values[i])];
-    if (static_cast<double>(c) < threshold) flagged->push_back(i);
+    if (rare[bin_of(values[i])] != 0) flagged->push_back(i);
   }
 }
 

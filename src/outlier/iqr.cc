@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/simd.h"
 #include "src/common/stats.h"
 
 namespace pcor {
@@ -22,9 +23,7 @@ void IqrDetector::Detect(std::span<const double> values,
   const double iqr = q3 - q1;
   const double lo = q1 - options_.multiplier * iqr;
   const double hi = q3 + options_.multiplier * iqr;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i] < lo || values[i] > hi) flagged->push_back(i);
-  }
+  simd::ScanOutsideRange(values, lo, hi, flagged);
 }
 
 }  // namespace pcor

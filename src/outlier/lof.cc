@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "src/common/simd.h"
+
 namespace pcor {
 
 namespace {
@@ -64,15 +66,20 @@ std::vector<double> LofDetector::Scores(
     kdist[i] = std::max(x[i] - x[lo], x[hi] - x[i]);
   }
 
-  // Local reachability density in sorted space.
+  // Local reachability density in sorted space. The reachability
+  // accumulation vectorizes over the whole window including the self term
+  // — which is exactly kdist[i], since |x[i] - x[i]| = 0 and k-distances
+  // are non-negative — and subtracts it afterwards. Summing non-negatives
+  // is monotone, so the subtraction can never go negative.
   thread_local std::vector<double> lrd;
   lrd.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    double reach_sum = 0.0;
-    for (size_t j = win_lo[i]; j <= win_hi[i]; ++j) {
-      if (j == i) continue;
-      reach_sum += std::max(kdist[j], std::abs(x[i] - x[j]));
-    }
+    const size_t len = win_hi[i] - win_lo[i] + 1;
+    const double reach_sum =
+        simd::ReachSum(std::span<const double>(x).subspan(win_lo[i], len),
+                       std::span<const double>(kdist).subspan(win_lo[i], len),
+                       x[i]) -
+        kdist[i];
     lrd[i] = reach_sum > 0.0 ? static_cast<double>(k) / reach_sum : kInf;
   }
 
@@ -93,9 +100,7 @@ void LofDetector::Detect(std::span<const double> values,
   flagged->clear();
   if (values.size() < options_.min_population) return;
   const std::vector<double> scores = Scores(values);
-  for (size_t i = 0; i < scores.size(); ++i) {
-    if (scores[i] > options_.score_threshold) flagged->push_back(i);
-  }
+  simd::ScanAbove(scores, options_.score_threshold, flagged);
 }
 
 }  // namespace pcor

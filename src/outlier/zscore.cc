@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "src/common/stats.h"
+#include "src/common/simd.h"
 
 namespace pcor {
 
@@ -12,15 +12,13 @@ void ZscoreDetector::Detect(std::span<const double> values,
                             std::vector<size_t>* flagged) const {
   flagged->clear();
   if (values.size() < options_.min_population) return;
-  RunningStats rs;
-  for (double v : values) rs.Add(v);
-  const double sd = rs.stddev();
+  // Two vectorized passes (sum, then squared deviations) plus a vectorized
+  // |x - mean| / sd > k threshold scan; the division per element matches
+  // the z-score definition exactly on every backend.
+  const simd::MeanVar mv = simd::MeanAndVariance(values);
+  const double sd = std::sqrt(mv.variance);
   if (sd == 0.0) return;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (std::abs(values[i] - rs.mean()) / sd > options_.threshold) {
-      flagged->push_back(i);
-    }
-  }
+  simd::ScanAbsZAbove(values, mv.mean, sd, options_.threshold, flagged);
 }
 
 }  // namespace pcor

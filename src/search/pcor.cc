@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/common/simd.h"
 #include "src/common/threading.h"
 #include "src/common/timer.h"
 #include "src/dp/mechanism.h"
@@ -101,6 +102,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
   release.cache_hits = verifier_.cache_hits() - hits_before;
   release.utility_score = scores[pick];
   release.hit_probe_cap = outcome.hit_probe_cap;
+  release.kernel_backend = simd::ActiveBackendName();
   release.seconds = timer.ElapsedSeconds();
   return release;
 }
@@ -175,10 +177,12 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
     report.total_probes += entry.release.probes;
     report.total_epsilon_spent += entry.release.epsilon_spent;
   }
+  report.kernel_backend = simd::ActiveBackendName();
   report.verifier_stats = verifier_.Stats();
   report.total_f_evaluations =
       report.verifier_stats.evaluations - stats_before.evaluations;
-  report.cache_hits = report.verifier_stats.cache_hits - stats_before.cache_hits;
+  report.cache_hits =
+      report.verifier_stats.cache_hits - stats_before.cache_hits;
   report.cache_evictions =
       report.verifier_stats.cache_evictions - stats_before.cache_evictions;
   report.seconds = timer.ElapsedSeconds();

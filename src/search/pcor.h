@@ -50,6 +50,9 @@ struct PcorRelease {
   double utility_score = 0.0;    ///< u_V(D, C_p) — private to the owner
   double seconds = 0.0;          ///< wall time of the release
   bool hit_probe_cap = false;
+  /// Detector kernel path the release ran on ("scalar", "sse2", "avx2");
+  /// recorded so perf numbers are attributable to a backend.
+  std::string kernel_backend;
 };
 
 /// \brief One unit of work for ReleaseBatch: a query outlier plus an
@@ -92,6 +95,7 @@ struct BatchReleaseReport {
   VerifierStats verifier_stats;
   double total_epsilon_spent = 0.0;  ///< sum over successful releases
   double seconds = 0.0;           ///< wall time of the whole batch
+  std::string kernel_backend;     ///< detector kernel path of the batch
 
   size_t num_released() const { return entries.size() - failures; }
 };
