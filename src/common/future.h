@@ -1,0 +1,182 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pcor {
+
+/// \brief Thrown by Future<T>::Get when its Promise was destroyed without
+/// delivering a value — the async analogue of a dangling reference, always
+/// a server bug, never a client-visible failure mode.
+class BrokenPromise : public std::runtime_error {
+ public:
+  BrokenPromise() : std::runtime_error("promise abandoned without a value") {}
+};
+
+namespace future_detail {
+
+template <typename T>
+struct SharedState {
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool ready = false;
+
+  void Deliver(std::optional<T> v, std::exception_ptr e) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      PCOR_CHECK(!ready) << "promise fulfilled twice";
+      value = std::move(v);
+      error = std::move(e);
+      ready = true;
+    }
+    ready_cv.notify_all();
+  }
+};
+
+}  // namespace future_detail
+
+/// \brief Single-shot value consumer paired with a Promise<T>.
+///
+/// Deliberately smaller than std::future: movable, one Get() that blocks
+/// and consumes, timed readiness probing, and exception propagation from
+/// the producer side (a worker that threw surfaces its exception at the
+/// submitting client's Get(), not inside the server). The serving
+/// front-end completes one of these per accepted request.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  // Move-only: Get() consumes, so a copy would either double-move the
+  // value or dereference the emptied state after the original's Get().
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// \brief True once a value or an exception has been delivered.
+  bool Ready() const {
+    PCOR_CHECK(valid()) << "Ready() on an invalid Future";
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->ready;
+  }
+
+  /// \brief Blocks until delivery.
+  void Wait() const {
+    PCOR_CHECK(valid()) << "Wait() on an invalid Future";
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->ready_cv.wait(lock, [this] { return state_->ready; });
+  }
+
+  /// \brief Blocks up to `timeout`; true iff the result became ready.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) const {
+    PCOR_CHECK(valid()) << "WaitFor() on an invalid Future";
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->ready_cv.wait_for(lock, timeout,
+                                     [this] { return state_->ready; });
+  }
+
+  /// \brief Blocks until delivery, then returns the value — or rethrows
+  /// the producer's exception (BrokenPromise when the producer vanished).
+  /// Consumes the future: valid() is false afterwards.
+  ///
+  /// The error is MOVED out of the shared state before rethrowing: once
+  /// delivered, the exception object's remaining lifetime belongs to this
+  /// thread alone. (exception_ptr refcounting lives in the uninstrumented
+  /// C++ runtime, so cross-thread teardown of a shared exception has no
+  /// TSan-visible synchronization — keeping it single-threaded sidesteps
+  /// the whole class of reports.)
+  T Get() {
+    PCOR_CHECK(valid()) << "Get() on an invalid Future";
+    std::shared_ptr<future_detail::SharedState<T>> state = std::move(state_);
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->ready_cv.wait(lock, [&state] { return state->ready; });
+    if (state->error) {
+      std::exception_ptr error = std::move(state->error);
+      state->error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(std::move(error));
+    }
+    return std::move(*state->value);
+  }
+
+ private:
+  template <typename U>
+  friend class Promise;
+  explicit Future(std::shared_ptr<future_detail::SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<future_detail::SharedState<T>> state_;
+};
+
+/// \brief Single-shot value producer. Destroying an unfulfilled promise
+/// whose future is still alive delivers BrokenPromise, so a crashed or
+/// early-exiting worker can never strand a waiting client.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<future_detail::SharedState<T>>()) {}
+
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&& other) noexcept {
+    AbandonIfPending();
+    state_ = std::move(other.state_);
+    future_taken_ = other.future_taken_;
+    return *this;
+  }
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  ~Promise() { AbandonIfPending(); }
+
+  /// \brief The paired future; may be taken once.
+  Future<T> GetFuture() {
+    PCOR_CHECK(state_ != nullptr) << "GetFuture() on a moved-from Promise";
+    PCOR_CHECK(!future_taken_) << "GetFuture() called twice";
+    future_taken_ = true;
+    return Future<T>(state_);
+  }
+
+  void Set(T value) {
+    PCOR_CHECK(state_ != nullptr) << "Set() on a moved-from Promise";
+    state_->Deliver(std::move(value), nullptr);
+  }
+
+  void SetException(std::exception_ptr error) {
+    PCOR_CHECK(state_ != nullptr)
+        << "SetException() on a moved-from Promise";
+    PCOR_CHECK(error != nullptr) << "SetException(nullptr)";
+    state_->Deliver(std::nullopt, std::move(error));
+  }
+
+ private:
+  void AbandonIfPending() {
+    if (state_ == nullptr) return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    const bool pending = !state_->ready;
+    lock.unlock();
+    if (pending) {
+      state_->Deliver(std::nullopt,
+                      std::make_exception_ptr(BrokenPromise()));
+    }
+    state_.reset();
+  }
+
+  std::shared_ptr<future_detail::SharedState<T>> state_;
+  bool future_taken_ = false;
+};
+
+}  // namespace pcor

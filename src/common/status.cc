@@ -29,6 +29,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "PrivacyBudgetExceeded";
     case StatusCode::kNoValidContext:
       return "NoValidContext";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kIOError = 8,
   kPrivacyBudgetExceeded = 9,
   kNoValidContext = 10,
+  kResourceExhausted = 11,
+  kUnavailable = 12,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -68,6 +70,12 @@ class Status {
   static Status NoValidContext(std::string msg) {
     return Status(StatusCode::kNoValidContext, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +97,10 @@ class Status {
   bool IsNoValidContext() const {
     return code_ == StatusCode::kNoValidContext;
   }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<CODE>: <message>".
   std::string ToString() const;

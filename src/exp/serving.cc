@@ -1,0 +1,86 @@
+#include "src/exp/serving.h"
+
+#include <mutex>
+#include <thread>
+
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
+
+namespace pcor {
+
+Result<ServingResult> RunServingWorkload(
+    const PcorEngine& engine, const std::vector<uint32_t>& outlier_rows,
+    const ServingConfig& config) {
+  if (outlier_rows.empty()) {
+    return Status::InvalidArgument("serving workload needs outlier rows");
+  }
+  if (config.clients == 0 || config.requests_per_client == 0) {
+    return Status::InvalidArgument(
+        "serving workload needs at least one client and one request");
+  }
+
+  ServingResult result;
+  WallTimer timer;
+  PcorServer server(engine, config.serve);
+
+  std::mutex result_mu;
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  for (size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string client_id = strings::Format("client-%zu", c);
+      // Local tallies merged once at the end: the measurement must not
+      // serialize the very concurrency it exists to measure.
+      std::vector<double> latencies;
+      latencies.reserve(config.requests_per_client);
+      size_t rejected_budget = 0;
+      size_t rejected_queue = 0;
+      size_t exceptions = 0;
+      for (size_t k = 0; k < config.requests_per_client; ++k) {
+        BatchRequest request;
+        request.v_row = outlier_rows[(c + k) % outlier_rows.size()];
+        WallTimer latency;
+        auto submitted = server.SubmitAsync(request, client_id);
+        if (!submitted.ok()) {
+          if (submitted.status().IsPrivacyBudgetExceeded()) {
+            ++rejected_budget;
+          } else {
+            ++rejected_queue;
+          }
+          continue;
+        }
+        // A closed-loop client: block on the future, then submit the next
+        // request. Coalescing across the *other* clients still happens.
+        // Get() rethrows worker-side exceptions (poisoned pre_batch_hook,
+        // BrokenPromise); letting one escape a std::thread body would
+        // std::terminate the whole process, so tally it instead.
+        try {
+          (void)submitted.value().Get();
+          latencies.push_back(latency.ElapsedSeconds());
+        } catch (...) {
+          ++exceptions;
+        }
+      }
+      std::unique_lock<std::mutex> lock(result_mu);
+      result.latencies_s.insert(result.latencies_s.end(), latencies.begin(),
+                                latencies.end());
+      result.rejected_budget += rejected_budget;
+      result.rejected_queue += rejected_queue;
+      result.exceptions += exceptions;
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown(/*drain=*/true);
+  result.wall_seconds = timer.ElapsedSeconds();
+
+  const ServerStats stats = server.stats();
+  result.released = stats.released;
+  result.failed = stats.failed;
+  result.batches = stats.batches;
+  result.max_coalesced = stats.max_coalesced;
+  result.hit_probe_cap = stats.hit_probe_cap;
+  result.epsilon_spent = stats.epsilon_spent;
+  return result;
+}
+
+}  // namespace pcor

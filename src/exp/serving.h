@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/serve/server.h"
+
+namespace pcor {
+
+/// \brief One serving experiment: `clients` concurrent client threads each
+/// submit `requests_per_client` releases (round-robin over the outlier
+/// pool) to a PcorServer and block on their futures, measuring the
+/// end-to-end submit-to-completion latency the paper-style trial loop
+/// never sees.
+struct ServingConfig {
+  size_t clients = 4;
+  size_t requests_per_client = 25;
+  /// Server configuration (micro-batching, queue bound, budget cap, and
+  /// the shared PcorOptions under `serve.release`).
+  ServeOptions serve;
+};
+
+/// \brief Aggregate outcome of RunServingWorkload.
+struct ServingResult {
+  std::vector<double> latencies_s;  ///< per completed request, any order
+  size_t released = 0;              ///< entries with OK status
+  size_t failed = 0;                ///< entries with an error status
+  size_t rejected_budget = 0;       ///< admissions refused over budget
+  size_t rejected_queue = 0;        ///< admissions refused by backpressure
+  size_t exceptions = 0;            ///< futures that rethrew a worker error
+  size_t batches = 0;               ///< micro-batches the server executed
+  size_t max_coalesced = 0;         ///< largest micro-batch observed
+  size_t hit_probe_cap = 0;         ///< released entries that hit the cap
+  double epsilon_spent = 0.0;       ///< across all client ledgers
+  double wall_seconds = 0.0;        ///< whole-workload wall time
+
+  double latency_quantile(double q) const {
+    return Percentile(latencies_s, q);
+  }
+  double releases_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(released) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// \brief Drives a fresh PcorServer over `engine` with concurrent client
+/// threads (client c is named "client-c" and draws its deterministic
+/// per-(client, seq) request streams). Returns aggregate latency/throughput
+/// plus the server's own counters.
+Result<ServingResult> RunServingWorkload(
+    const PcorEngine& engine, const std::vector<uint32_t>& outlier_rows,
+    const ServingConfig& config);
+
+}  // namespace pcor

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "src/common/simd.h"
+#include "src/common/stats.h"
 #include "src/common/threading.h"
 #include "src/common/timer.h"
 #include "src/dp/mechanism.h"
@@ -140,7 +141,8 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
   const auto run_one = [&](size_t i) {
     BatchEntry& entry = report.entries[i];
     entry.v_row = requests[i].v_row;
-    entry.rng_seed = BatchTrialSeed(seed, i);
+    entry.rng_seed = requests[i].use_explicit_seed ? requests[i].rng_seed
+                                                   : BatchTrialSeed(seed, i);
     Rng rng(entry.rng_seed);
     Result<PcorRelease> released =
         requests[i].utility == nullptr
@@ -169,6 +171,8 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
     pool.Wait();
   }
 
+  std::vector<double> entry_seconds;
+  entry_seconds.reserve(report.entries.size());
   for (const BatchEntry& entry : report.entries) {
     if (!entry.status.ok()) {
       ++report.failures;
@@ -176,6 +180,14 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
     }
     report.total_probes += entry.release.probes;
     report.total_epsilon_spent += entry.release.epsilon_spent;
+    if (entry.release.hit_probe_cap) ++report.hit_probe_cap;
+    entry_seconds.push_back(entry.release.seconds);
+  }
+  if (!entry_seconds.empty()) {
+    std::sort(entry_seconds.begin(), entry_seconds.end());
+    report.entry_seconds_p50 = PercentileOfSorted(entry_seconds, 0.50);
+    report.entry_seconds_p95 = PercentileOfSorted(entry_seconds, 0.95);
+    report.entry_seconds_p99 = PercentileOfSorted(entry_seconds, 0.99);
   }
   report.kernel_backend = simd::ActiveBackendName();
   report.verifier_stats = verifier_.Stats();

@@ -63,6 +63,14 @@ struct PcorRelease {
 struct BatchRequest {
   uint32_t v_row = 0;
   const UtilityFunction* utility = nullptr;
+  /// When true, `rng_seed` is used verbatim as this entry's Rng stream seed
+  /// instead of BatchTrialSeed(batch seed, index). The serving front-end
+  /// pins admission-time seeds through this hook, so how requests coalesce
+  /// into micro-batches cannot perturb any release: the entry's reported
+  /// seed, context, epsilon and stats are identical whether it ran alone or
+  /// packed with 63 strangers.
+  bool use_explicit_seed = false;
+  uint64_t rng_seed = 0;
 };
 
 /// \brief Outcome of one batch item. `release` is meaningful iff
@@ -94,6 +102,13 @@ struct BatchReleaseReport {
   /// across batches, so resident_bytes/entries carry over to the next one.
   VerifierStats verifier_stats;
   double total_epsilon_spent = 0.0;  ///< sum over successful releases
+  size_t hit_probe_cap = 0;       ///< successful entries that hit max_probes
+  /// Per-entry wall-time percentiles over the successful entries (seconds),
+  /// pre-aggregated so exporters (serving stats, benches) never rescan the
+  /// entry vector. All zero when every entry failed.
+  double entry_seconds_p50 = 0.0;
+  double entry_seconds_p95 = 0.0;
+  double entry_seconds_p99 = 0.0;
   double seconds = 0.0;           ///< wall time of the whole batch
   std::string kernel_backend;     ///< detector kernel path of the batch
 

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace pcor {
+
+/// \brief Transparent hash for string-keyed maps on the serving hot path:
+/// lets every lookup take a string_view without materializing a
+/// std::string (only first-contact insertion allocates).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+template <typename V>
+using ClientMap = std::unordered_map<std::string, V, TransparentStringHash,
+                                     std::equal_to<>>;
+
+/// \brief Per-client OCDP budget ledger for the serving front-end.
+///
+/// Every client (tenant) gets the same epsilon cap; each admitted release
+/// charges its total_epsilon against the submitting client's ledger under
+/// sequential composition, and a submission that would push the ledger past
+/// the cap is rejected with a typed kPrivacyBudgetExceeded status — never
+/// silently clipped to the remaining budget.
+///
+/// Charging happens at admission (before the release runs): a release that
+/// later fails server-side (e.g. NoValidContext) keeps its charge, because
+/// the search still consumed the data — refunding it would let a client
+/// probe for free by submitting rows it knows cannot release. The one
+/// exception is a request rejected *at the door* (queue full, shutdown):
+/// no computation touched the data, so the server refunds those.
+///
+/// Thread-safe; many client threads charge concurrently.
+class BudgetAccountant {
+ public:
+  /// \brief `per_client_cap` in epsilon; infinity disables enforcement.
+  explicit BudgetAccountant(
+      double per_client_cap = std::numeric_limits<double>::infinity());
+
+  /// \brief Charges `epsilon` to `client_id`, or rejects with
+  /// kPrivacyBudgetExceeded (charging nothing) if spent + epsilon would
+  /// exceed the cap beyond a tiny relative tolerance (so a cap that is an
+  /// exact multiple of the per-release cost admits exactly that many).
+  Status Charge(std::string_view client_id, double epsilon);
+
+  /// \brief Returns `epsilon` to `client_id`'s ledger; only for admissions
+  /// rolled back before any computation ran (see class comment).
+  void Refund(std::string_view client_id, double epsilon);
+
+  /// \brief Cumulative epsilon charged to `client_id` (0 for strangers).
+  double SpentBy(std::string_view client_id) const;
+
+  /// \brief Sum of every client's ledger.
+  double TotalSpent() const;
+
+  double cap() const { return cap_; }
+  size_t num_clients() const;
+
+ private:
+  const double cap_;
+  mutable std::mutex mu_;
+  ClientMap<double> spent_;
+};
+
+}  // namespace pcor

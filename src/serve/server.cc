@@ -1,0 +1,230 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/random.h"
+
+namespace pcor {
+
+namespace {
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+}  // namespace
+
+PcorServer::PcorServer(const PcorEngine& engine, ServeOptions options)
+    : engine_(&engine),
+      options_(std::move(options)),
+      accountant_(options_.per_client_epsilon_cap),
+      queue_(std::max<size_t>(1, options_.queue_capacity)),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+PcorServer::~PcorServer() { Shutdown(/*drain=*/true); }
+
+uint64_t PcorServer::RequestSeed(uint64_t server_seed,
+                                 std::string_view client_id, uint64_t k) {
+  // Fold the client id into the server seed character by character (every
+  // step avalanches, so "c1"/"c2" land in unrelated stream families), then
+  // apply the same Weyl-step + finalizer mix ReleaseBatch uses per index.
+  uint64_t h = SplitMix64Mix(server_seed ^ 0x243f6a8885a308d3ULL);
+  for (const char c : client_id) {
+    h = SplitMix64Mix(h ^ static_cast<unsigned char>(c));
+  }
+  return SplitMix64Mix(h + 0x9e3779b97f4a7c15ULL * (k + 1));
+}
+
+Result<Future<BatchEntry>> PcorServer::SubmitAsync(
+    const BatchRequest& request, std::string_view client_id) {
+  const double cost = options_.release.total_epsilon;
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (shutting_down_) {
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected_queue;
+      return Status::Unavailable("server is shutting down");
+    }
+  }
+  Status charged = accountant_.Charge(client_id, cost);
+  if (!charged.ok()) {
+    std::unique_lock<std::mutex> stats_lock(stats_mu_);
+    ++stats_.rejected_budget;
+    return charged;
+  }
+
+  Pending pending;
+  pending.client_id = std::string(client_id);
+  pending.request = request;
+  pending.request.use_explicit_seed = true;
+  uint64_t my_seq = 0;
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (shutting_down_) {
+      lock.unlock();
+      accountant_.Refund(client_id, cost);
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected_queue;
+      return Status::Unavailable("server is shutting down");
+    }
+    auto it = client_seq_.find(client_id);
+    if (it == client_seq_.end()) {
+      it = client_seq_.emplace(pending.client_id, 0).first;
+    }
+    my_seq = it->second;
+    pending.request.rng_seed = RequestSeed(options_.seed, client_id, my_seq);
+    ++it->second;
+  }
+  Future<BatchEntry> future = pending.promise.GetFuture();
+
+  QueueOp pushed = options_.backpressure == BackpressurePolicy::kBlock
+                       ? queue_.Push(std::move(pending))
+                       : queue_.TryPush(std::move(pending));
+  if (pushed != QueueOp::kOk) {
+    // Nothing ran against the data: roll the admission back. The stream
+    // slot is returned only if no other submission for this client claimed
+    // a later slot in the meantime — an unconditional decrement could hand
+    // an already-admitted request's seed to the next submission, and two
+    // releases must never share an Rng stream. When the slot cannot be
+    // reclaimed it is simply burned; seeds stay unique either way.
+    accountant_.Refund(client_id, cost);
+    {
+      std::unique_lock<std::mutex> lock(state_mu_);
+      auto it = client_seq_.find(client_id);
+      if (it != client_seq_.end() && it->second == my_seq + 1) --it->second;
+    }
+    std::unique_lock<std::mutex> stats_lock(stats_mu_);
+    ++stats_.rejected_queue;
+    if (pushed == QueueOp::kFull) {
+      return Status::ResourceExhausted("admission queue is full");
+    }
+    return Status::Unavailable("server is shutting down");
+  }
+  {
+    std::unique_lock<std::mutex> stats_lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  return future;
+}
+
+std::vector<Result<Future<BatchEntry>>> PcorServer::SubmitMany(
+    std::span<const BatchRequest> requests, std::string_view client_id) {
+  std::vector<Result<Future<BatchEntry>>> futures;
+  futures.reserve(requests.size());
+  for (const BatchRequest& request : requests) {
+    futures.push_back(SubmitAsync(request, client_id));
+  }
+  return futures;
+}
+
+void PcorServer::Shutdown(bool drain) {
+  // Serializes concurrent Shutdown callers (including the destructor): the
+  // first runs the teardown, later ones block here until it finished and
+  // then find the dispatcher already joined.
+  std::unique_lock<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (!shutting_down_) {
+      shutting_down_ = true;
+      abort_pending_.store(!drain, std::memory_order_relaxed);
+    }
+  }
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void PcorServer::DispatcherLoop() {
+  while (true) {
+    Pending first;
+    if (queue_.Pop(&first) == QueueOp::kClosed) return;
+
+    std::vector<Pending> batch;
+    batch.push_back(std::move(first));
+    const auto deadline =
+        steady_clock::now() + microseconds(options_.max_delay_us);
+    while (batch.size() < std::max<size_t>(1, options_.max_batch)) {
+      Pending next;
+      const QueueOp op = queue_.PopFor(&next, deadline - steady_clock::now());
+      if (op != QueueOp::kOk) break;  // timed out, or closed and drained
+      batch.push_back(std::move(next));
+    }
+
+    if (abort_pending_.load(std::memory_order_relaxed)) {
+      // Abort-mode shutdown: complete undispatched work with a typed
+      // kUnavailable entry and return the untouched budget charges.
+      for (Pending& pending : batch) {
+        BatchEntry entry;
+        entry.v_row = pending.request.v_row;
+        entry.rng_seed = pending.request.rng_seed;
+        entry.status = Status::Unavailable("server shut down before dispatch");
+        accountant_.Refund(pending.client_id,
+                           options_.release.total_epsilon);
+        pending.promise.Set(std::move(entry));
+      }
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      stats_.failed += batch.size();
+      continue;
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void PcorServer::ExecuteBatch(std::vector<Pending> batch) {
+  std::vector<BatchRequest> requests;
+  requests.reserve(batch.size());
+  for (const Pending& pending : batch) requests.push_back(pending.request);
+
+  try {
+    if (options_.pre_batch_hook) {
+      options_.pre_batch_hook(std::span<const BatchRequest>(requests));
+    }
+    BatchReleaseReport report = engine_->ReleaseBatch(
+        std::span<const BatchRequest>(requests), options_.release,
+        options_.seed, options_.release_threads);
+    {
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.batches;
+      stats_.max_coalesced = std::max(stats_.max_coalesced, batch.size());
+      stats_.released += report.entries.size() - report.failures;
+      stats_.failed += report.failures;
+      stats_.hit_probe_cap += report.hit_probe_cap;
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.Set(std::move(report.entries[i]));
+    }
+  } catch (const std::exception& e) {
+    FailBatchWith(&batch, e.what());
+  } catch (...) {
+    FailBatchWith(&batch, "non-std exception during micro-batch execution");
+  }
+}
+
+void PcorServer::FailBatchWith(std::vector<Pending>* batch,
+                               const char* what) {
+  // The engine itself is Status-based and should never throw; a throwing
+  // pre_batch_hook (or a bug below us) must surface at every waiting
+  // client rather than kill the dispatcher. Every future gets its OWN
+  // self-contained ServeError — never one shared refcounted exception
+  // object (or a shared COW message buffer), whose teardown would then
+  // race across the consumer threads (see ServeError and Future::Get).
+  {
+    std::unique_lock<std::mutex> stats_lock(stats_mu_);
+    ++stats_.batches;
+    stats_.max_coalesced = std::max(stats_.max_coalesced, batch->size());
+    stats_.failed += batch->size();
+  }
+  for (Pending& pending : *batch) {
+    pending.promise.SetException(std::make_exception_ptr(ServeError(what)));
+  }
+}
+
+ServerStats PcorServer::stats() const {
+  ServerStats snapshot;
+  {
+    std::unique_lock<std::mutex> stats_lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.epsilon_spent = accountant_.TotalSpent();
+  return snapshot;
+}
+
+}  // namespace pcor

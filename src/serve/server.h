@@ -1,0 +1,182 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/future.h"
+#include "src/common/mpmc_queue.h"
+#include "src/common/result.h"
+#include "src/search/pcor.h"
+#include "src/serve/budget_accountant.h"
+
+namespace pcor {
+
+/// \brief Exception delivered to every future of a micro-batch whose
+/// execution threw (e.g. a poisoned pre_batch_hook). Carries the original
+/// what() in a fixed inline buffer — deliberately NOT std::runtime_error:
+/// its heap message string is refcount-shared on copy under the COW string
+/// ABI, and those refcounts live in the uninstrumented C++ runtime, so a
+/// message crossing from the dispatcher to client threads would tear down
+/// without any TSan-visible synchronization. A self-contained char array
+/// copies by value and shares nothing.
+class ServeError : public std::exception {
+ public:
+  explicit ServeError(const char* what) {
+    std::snprintf(what_, sizeof(what_), "%s", what);
+  }
+  const char* what() const noexcept override { return what_; }
+
+ private:
+  char what_[256];
+};
+
+/// \brief What SubmitAsync does when the admission queue is full.
+enum class BackpressurePolicy {
+  kBlock,   ///< block the submitting thread until space frees up
+  kReject,  ///< fail fast with a typed kResourceExhausted status
+};
+
+/// \brief Serving front-end configuration.
+struct ServeOptions {
+  /// Release configuration every request shares (sampler, epsilon, n, ...).
+  PcorOptions release;
+  /// Largest micro-batch one dispatch executes. Bigger batches amortize
+  /// ThreadPool fan-out and keep the shared verifier cache hot.
+  size_t max_batch = 64;
+  /// After the first pending request arrives, how long the dispatcher keeps
+  /// the batch open for stragglers before executing it anyway.
+  size_t max_delay_us = 200;
+  /// Bound on requests admitted but not yet dispatched.
+  size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Worker threads each micro-batch fans out over (0 = all cores).
+  size_t release_threads = 0;
+  /// Server seed: every request's Rng stream derives from
+  /// (seed, client_id, the client's own submission index) — never from the
+  /// micro-batch a request happens to land in.
+  uint64_t seed = 2021;
+  /// Per-client cumulative epsilon cap (infinity = unlimited).
+  double per_client_epsilon_cap = std::numeric_limits<double>::infinity();
+  /// Test/instrumentation hook run by the dispatcher immediately before
+  /// each micro-batch executes. An exception thrown here propagates to
+  /// every future in that batch as a ServeError carrying the original
+  /// what() (one fresh exception per future; see FailBatchWith) — the
+  /// stress suite uses this to prove that a worker-side crash surfaces at
+  /// clients instead of hanging them.
+  std::function<void(std::span<const BatchRequest>)> pre_batch_hook;
+};
+
+/// \brief Monotonic counters describing a server's lifetime so far.
+struct ServerStats {
+  size_t submitted = 0;        ///< admissions accepted into the queue
+  size_t released = 0;         ///< entries completed with OK status
+  size_t failed = 0;           ///< entries completed with an error status
+  size_t rejected_budget = 0;  ///< submissions refused: budget cap
+  size_t rejected_queue = 0;   ///< submissions refused: queue full/shutdown
+  size_t batches = 0;          ///< micro-batches executed
+  size_t max_coalesced = 0;    ///< largest micro-batch observed
+  size_t hit_probe_cap = 0;    ///< released entries that hit max_probes
+  double epsilon_spent = 0.0;  ///< sum of all client ledgers
+};
+
+/// \brief Asynchronous serving front-end over PcorEngine::ReleaseBatch.
+///
+/// Many client threads call SubmitAsync/SubmitMany; a dispatcher thread
+/// coalesces pending requests into micro-batches (up to max_batch, waiting
+/// at most max_delay_us for stragglers) and executes each on
+/// ReleaseBatch with the engine's shared verifier cache, completing one
+/// Future<BatchEntry> per request.
+///
+/// Determinism: a request's Rng stream seed is fixed at admission as
+/// RequestSeed(seed, client_id, k) where k is the client's own 0-based
+/// submission index. Coalescing shape, dispatch order and thread count
+/// therefore cannot perturb any release: the same per-client request
+/// sequences produce bit-identical PcorRelease results whether submitted
+/// serially, in one giant batch, or raced from 16 threads.
+///
+/// Privacy: admission charges release.total_epsilon to the client's
+/// BudgetAccountant ledger; over-cap submissions are rejected with a typed
+/// kPrivacyBudgetExceeded status (see BudgetAccountant for the refund
+/// rules).
+class PcorServer {
+ public:
+  /// \brief The engine must outlive the server.
+  PcorServer(const PcorEngine& engine, ServeOptions options);
+
+  /// \brief Drains and stops (Shutdown(true)).
+  ~PcorServer();
+
+  PcorServer(const PcorServer&) = delete;
+  PcorServer& operator=(const PcorServer&) = delete;
+
+  /// \brief Admits one request for `client_id`. Returns the future that
+  /// completes with the request's BatchEntry, or a typed error:
+  /// kPrivacyBudgetExceeded (cap), kResourceExhausted (queue full under
+  /// kReject), kUnavailable (shutting down).
+  Result<Future<BatchEntry>> SubmitAsync(const BatchRequest& request,
+                                         std::string_view client_id);
+
+  /// \brief Admits many requests for one client, preserving order. Each
+  /// request succeeds or fails admission independently (one over-budget
+  /// request must not sink the rest).
+  std::vector<Result<Future<BatchEntry>>> SubmitMany(
+      std::span<const BatchRequest> requests, std::string_view client_id);
+
+  /// \brief Stops the server. `drain` true executes every admitted request
+  /// before returning; false completes pending (undispatched) futures with
+  /// a kUnavailable entry and refunds their budget charges. Idempotent;
+  /// the first call's mode wins.
+  void Shutdown(bool drain = true);
+
+  /// \brief The Rng stream seed the server assigns to `client_id`'s k-th
+  /// submission. Exposed so tests and replay tooling can predict and
+  /// reproduce any served release with PcorEngine::Release.
+  static uint64_t RequestSeed(uint64_t server_seed,
+                              std::string_view client_id, uint64_t k);
+
+  ServerStats stats() const;
+  const BudgetAccountant& accountant() const { return accountant_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    BatchRequest request;  // carries the pinned per-request seed
+    Promise<BatchEntry> promise;
+    std::string client_id;  // for the abort-path refund
+  };
+
+  void DispatcherLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  /// \brief Fails every future in `batch` with its own ServeError carrying
+  /// `what` (worker exceptions are rewrapped per future — the message
+  /// survives, the concrete type intentionally does not; see ServeError).
+  void FailBatchWith(std::vector<Pending>* batch, const char* what);
+
+  const PcorEngine* engine_;
+  const ServeOptions options_;
+  BudgetAccountant accountant_;
+  BoundedMpmcQueue<Pending> queue_;
+
+  std::mutex state_mu_;
+  ClientMap<uint64_t> client_seq_;
+  bool shutting_down_ = false;
+  std::atomic<bool> abort_pending_{false};
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::thread dispatcher_;  // last member: starts in the constructor
+};
+
+}  // namespace pcor

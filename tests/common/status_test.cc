@@ -30,6 +30,8 @@ TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::PrivacyBudgetExceeded("x").IsPrivacyBudgetExceeded());
   EXPECT_TRUE(Status::NoValidContext("x").IsNoValidContext());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
@@ -38,6 +40,9 @@ TEST(StatusTest, CodeNamesAreStable) {
             "PrivacyBudgetExceeded");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNoValidContext),
             "NoValidContext");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,103 @@
+#include "src/exp/serving.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+class ServingWorkloadTest : public ::testing::Test {
+ protected:
+  ServingWorkloadTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        detector_(testing_util::MakeTestDetector()),
+        engine_(grid_.dataset, detector_) {}
+
+  testing_util::GridData grid_;
+  ZscoreDetector detector_;
+  PcorEngine engine_;
+};
+
+TEST_F(ServingWorkloadTest, DrivesConcurrentClientsToCompletion) {
+  ServingConfig config;
+  config.clients = 3;
+  config.requests_per_client = 5;
+  config.serve.release.sampler = SamplerKind::kBfs;
+  config.serve.release.num_samples = 6;
+  config.serve.release.total_epsilon = 0.2;
+  config.serve.max_batch = 8;
+  config.serve.max_delay_us = 100;
+  config.serve.seed = 11;
+
+  auto result = RunServingWorkload(engine_, {grid_.v_row}, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->released, 15u);
+  EXPECT_EQ(result->failed, 0u);
+  EXPECT_EQ(result->rejected_budget, 0u);
+  EXPECT_EQ(result->rejected_queue, 0u);
+  EXPECT_EQ(result->latencies_s.size(), 15u);
+  EXPECT_GE(result->batches, 1u);
+  EXPECT_GE(result->max_coalesced, 1u);
+  EXPECT_NEAR(result->epsilon_spent, 15 * 0.2, 1e-9);
+  EXPECT_GT(result->wall_seconds, 0.0);
+  EXPECT_GT(result->releases_per_second(), 0.0);
+  // Quantiles are well-formed over the collected latencies.
+  EXPECT_GE(result->latency_quantile(0.99), result->latency_quantile(0.50));
+}
+
+TEST_F(ServingWorkloadTest, SurfacesBudgetRejectionCounts) {
+  ServingConfig config;
+  config.clients = 2;
+  config.requests_per_client = 6;
+  config.serve.release.sampler = SamplerKind::kBfs;
+  config.serve.release.num_samples = 6;
+  config.serve.release.total_epsilon = 0.25;
+  // cap admits exactly 4 of the 6 requests per client.
+  config.serve.per_client_epsilon_cap = 1.0;
+  config.serve.seed = 12;
+
+  auto result = RunServingWorkload(engine_, {grid_.v_row}, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->released, 8u);
+  EXPECT_EQ(result->rejected_budget, 4u);
+  EXPECT_EQ(result->rejected_queue, 0u);
+  EXPECT_NEAR(result->epsilon_spent, 8 * 0.25, 1e-9);
+}
+
+TEST_F(ServingWorkloadTest, ContainsWorkerExceptionsInsteadOfTerminating) {
+  ServingConfig config;
+  config.clients = 2;
+  config.requests_per_client = 3;
+  config.serve.release.sampler = SamplerKind::kBfs;
+  config.serve.release.num_samples = 6;
+  config.serve.seed = 13;
+  // Every micro-batch is poisoned: each Get() rethrows inside a client
+  // thread, which the driver must absorb as a tallied exception rather
+  // than letting std::terminate take the process down.
+  config.serve.pre_batch_hook = [](std::span<const BatchRequest>) {
+    throw std::runtime_error("poisoned batch");
+  };
+
+  auto result = RunServingWorkload(engine_, {grid_.v_row}, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->exceptions, 6u);
+  EXPECT_EQ(result->released, 0u);
+  EXPECT_TRUE(result->latencies_s.empty());
+}
+
+TEST_F(ServingWorkloadTest, RejectsDegenerateConfigurations) {
+  ServingConfig config;
+  EXPECT_TRUE(RunServingWorkload(engine_, {}, config)
+                  .status()
+                  .IsInvalidArgument());
+  config.clients = 0;
+  EXPECT_TRUE(RunServingWorkload(engine_, {grid_.v_row}, config)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,12 +1,18 @@
 // Parameterized property sweeps over (detector x utility x sampler): the
 // invariants of Definition 3.2 must hold for every combination, which is
-// exactly the paper's genericity claim (contribution 4).
+// exactly the paper's genericity claim (contribution 4). The serving
+// sweeps at the bottom extend the epsilon-accounting invariants to
+// server-coalesced batches and the BudgetAccountant rejection boundary.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "src/context/coe.h"
+#include "src/dp/budget.h"
 #include "src/search/pcor.h"
+#include "src/serve/server.h"
 #include "src/outlier/grubbs.h"
 #include "src/outlier/histogram_detector.h"
 #include "src/outlier/iqr.h"
@@ -137,6 +143,133 @@ TEST_P(PopulationMonotonicityTest, AddingAValueNeverShrinksThePopulation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PopulationMonotonicityTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// Serving sweep: the OCDP epsilon-accounting invariants must survive the
+// trip through the async front-end — a server-coalesced entry spends
+// exactly the configured total, its eps1 matches the derived per-draw
+// schedule for the sampler kind, and the per-client ledgers sum to
+// (admissions x total), with nothing double- or under-charged by
+// coalescing.
+class ServerEpsilonSweepTest
+    : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(ServerEpsilonSweepTest, CoalescedEntriesKeepTheEpsilonSchedule) {
+  const SamplerKind sampler_kind = GetParam();
+  auto grid = testing_util::MakeSpreadGridDataset();
+  ZscoreDetector detector = testing_util::MakeTestDetector();
+  PcorEngine engine(grid.dataset, detector);
+
+  constexpr double kEpsilon = 0.2;
+  constexpr size_t kNumSamples = 8;
+  ServeOptions options;
+  options.release.sampler = sampler_kind;
+  options.release.num_samples = kNumSamples;
+  options.release.total_epsilon = kEpsilon;
+  options.max_batch = 16;  // force coalescing across clients
+  options.max_delay_us = 50'000;
+  options.seed = 99;
+  PcorServer server(engine, options);
+
+  constexpr size_t kClients = 3;
+  constexpr size_t kPerClient = 6;
+  std::vector<Future<BatchEntry>> futures;
+  for (size_t k = 0; k < kPerClient; ++k) {
+    for (size_t c = 0; c < kClients; ++c) {
+      BatchRequest request;
+      request.v_row = grid.v_row;
+      auto future =
+          server.SubmitAsync(request, "tenant-" + std::to_string(c));
+      ASSERT_TRUE(future.ok()) << future.status().ToString();
+      futures.push_back(std::move(*future));
+    }
+  }
+
+  const double eps1 =
+      Epsilon1ForTotal(sampler_kind, kEpsilon, kNumSamples);
+  for (auto& future : futures) {
+    const BatchEntry entry = future.Get();
+    ASSERT_TRUE(entry.status.ok()) << entry.status.ToString();
+    // epsilon_spent reconstructs from the derived eps1 schedule exactly.
+    EXPECT_NEAR(entry.release.epsilon_spent, kEpsilon, 1e-9);
+    EXPECT_NEAR(entry.release.epsilon1, eps1, 1e-12);
+    EXPECT_NEAR(
+        TotalForEpsilon1(sampler_kind, entry.release.epsilon1, kNumSamples),
+        entry.release.epsilon_spent, 1e-12);
+  }
+  server.Shutdown();
+  // Sequential composition across the coalesced batches: every tenant's
+  // ledger holds exactly (admissions x epsilon).
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_NEAR(server.accountant().SpentBy("tenant-" + std::to_string(c)),
+                kPerClient * kEpsilon, 1e-9);
+  }
+  EXPECT_NEAR(server.stats().epsilon_spent,
+              kClients * kPerClient * kEpsilon, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samplers, ServerEpsilonSweepTest,
+                         ::testing::Values(SamplerKind::kDirect,
+                                           SamplerKind::kUniform,
+                                           SamplerKind::kRandomWalk,
+                                           SamplerKind::kDfs,
+                                           SamplerKind::kBfs),
+                         [](const auto& info) {
+                           return SamplerKindName(info.param);
+                         });
+
+// The BudgetAccountant rejection boundary, end to end through the server:
+// with cap == 4 x epsilon, a client gets exactly 4 full-priced releases;
+// submission 5+ is rejected with a typed status and no release happens at
+// a clipped epsilon.
+TEST(ServerBudgetBoundaryTest, CapAdmitsExactlyFloorCapOverEpsilon) {
+  auto grid = testing_util::MakeSpreadGridDataset();
+  ZscoreDetector detector = testing_util::MakeTestDetector();
+  PcorEngine engine(grid.dataset, detector);
+
+  constexpr double kEpsilon = 0.25;
+  ServeOptions options;
+  options.release.sampler = SamplerKind::kBfs;
+  options.release.num_samples = 6;
+  options.release.total_epsilon = kEpsilon;
+  options.per_client_epsilon_cap = 4 * kEpsilon;
+  options.seed = 13;
+  PcorServer server(engine, options);
+
+  size_t admitted = 0;
+  size_t rejected = 0;
+  std::vector<Future<BatchEntry>> futures;
+  for (size_t i = 0; i < 7; ++i) {
+    BatchRequest request;
+    request.v_row = grid.v_row;
+    auto future = server.SubmitAsync(request, "capped");
+    if (future.ok()) {
+      ++admitted;
+      futures.push_back(std::move(*future));
+    } else {
+      ++rejected;
+      // Typed, never silent: the status names the privacy budget.
+      EXPECT_TRUE(future.status().IsPrivacyBudgetExceeded())
+          << future.status().ToString();
+    }
+  }
+  EXPECT_EQ(admitted, 4u);
+  EXPECT_EQ(rejected, 3u);
+  for (auto& future : futures) {
+    const BatchEntry entry = future.Get();
+    ASSERT_TRUE(entry.status.ok());
+    // Every admitted release spent the FULL epsilon — a clipped release
+    // would be a silent privacy-accounting lie.
+    EXPECT_NEAR(entry.release.epsilon_spent, kEpsilon, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("capped"), 4 * kEpsilon);
+  EXPECT_EQ(server.stats().rejected_budget, 3u);
+  // An unrelated client is unaffected by the exhausted tenant.
+  BatchRequest request;
+  request.v_row = grid.v_row;
+  auto other = server.SubmitAsync(request, "fresh");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->Get().status.ok());
+}
 
 // Sensitivity sweep: for every detector, removing one non-V row changes a
 // context's population by at most one — the Delta-u = 1 argument used in

@@ -1,7 +1,9 @@
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/common/stats.h"
 #include "src/search/pcor.h"
 #include "tests/testing_util.h"
 
@@ -134,6 +136,95 @@ TEST_F(PcorBatchTest, RecordsPerEntryFailuresWithoutSinkingTheBatch) {
   EXPECT_FALSE(report.entries[3].status.ok());  // out of range row
   EXPECT_EQ(report.failures, 2u);
   EXPECT_EQ(report.num_released(), 2u);
+}
+
+TEST_F(PcorBatchTest, ExplicitSeedRequestsIgnoreBatchPosition) {
+  // The serving front-end's determinism hinges on this: an entry with a
+  // pinned seed must release identically no matter where in a batch it
+  // lands or what batch seed rode along.
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+  const uint64_t pinned = 0xfeedfacecafebeefULL;
+
+  BatchRequest lone;
+  lone.v_row = grid_.v_row;
+  lone.use_explicit_seed = true;
+  lone.rng_seed = pinned;
+  const BatchReleaseReport solo = engine_.ReleaseBatch(
+      std::span<const BatchRequest>(&lone, 1), options, /*seed=*/1, 1);
+  ASSERT_EQ(solo.failures, 0u);
+  EXPECT_EQ(solo.entries[0].rng_seed, pinned);
+
+  // Same request packed at the tail of a bigger batch under another seed.
+  std::vector<BatchRequest> packed(5);
+  for (auto& r : packed) r.v_row = grid_.v_row;
+  packed.back() = lone;
+  const BatchReleaseReport crowd = engine_.ReleaseBatch(
+      std::span<const BatchRequest>(packed), options, /*seed=*/999, 4);
+  ASSERT_EQ(crowd.failures, 0u);
+  EXPECT_EQ(crowd.entries.back().rng_seed, pinned);
+  ExpectSameRelease(solo.entries[0], crowd.entries.back());
+  // Entries without the flag still derive from (seed, index).
+  EXPECT_EQ(crowd.entries[0].rng_seed, PcorEngine::BatchTrialSeed(999, 0));
+}
+
+TEST_F(PcorBatchTest, AggregatesProbeCapAndLatencyPercentiles) {
+  std::vector<uint32_t> rows(12, grid_.v_row);
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+  const BatchReleaseReport report =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 5, 2);
+  ASSERT_EQ(report.failures, 0u);
+
+  // hit_probe_cap is the exact count of capped successful entries.
+  size_t capped = 0;
+  std::vector<double> seconds;
+  for (const BatchEntry& e : report.entries) {
+    if (e.release.hit_probe_cap) ++capped;
+    seconds.push_back(e.release.seconds);
+  }
+  EXPECT_EQ(report.hit_probe_cap, capped);
+  EXPECT_EQ(capped, 0u) << "default probe budget must not cap this workload";
+
+  // Percentiles match an independent computation over the entries and obey
+  // the ordering / bounding invariants.
+  std::sort(seconds.begin(), seconds.end());
+  EXPECT_DOUBLE_EQ(report.entry_seconds_p50,
+                   PercentileOfSorted(seconds, 0.50));
+  EXPECT_DOUBLE_EQ(report.entry_seconds_p95,
+                   PercentileOfSorted(seconds, 0.95));
+  EXPECT_DOUBLE_EQ(report.entry_seconds_p99,
+                   PercentileOfSorted(seconds, 0.99));
+  EXPECT_LE(report.entry_seconds_p50, report.entry_seconds_p95);
+  EXPECT_LE(report.entry_seconds_p95, report.entry_seconds_p99);
+  EXPECT_LE(report.entry_seconds_p99, seconds.back());
+  EXPECT_GE(report.entry_seconds_p50, 0.0);
+
+  // A starved probe budget must surface as capped entries in the report.
+  PcorOptions starved = options;
+  starved.max_probes = 2;
+  const BatchReleaseReport capped_report =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), starved, 5, 2);
+  size_t expect_capped = 0;
+  for (const BatchEntry& e : capped_report.entries) {
+    if (e.status.ok() && e.release.hit_probe_cap) ++expect_capped;
+  }
+  EXPECT_EQ(capped_report.hit_probe_cap, expect_capped);
+  EXPECT_GT(capped_report.hit_probe_cap, 0u);
+}
+
+TEST_F(PcorBatchTest, AllFailedBatchHasZeroPercentiles) {
+  std::vector<uint32_t> rows(3, static_cast<uint32_t>(1) << 30);
+  PcorOptions options;
+  const BatchReleaseReport report =
+      engine_.ReleaseBatch(std::span<const uint32_t>(rows), options, 5, 2);
+  EXPECT_EQ(report.failures, rows.size());
+  EXPECT_EQ(report.hit_probe_cap, 0u);
+  EXPECT_DOUBLE_EQ(report.entry_seconds_p50, 0.0);
+  EXPECT_DOUBLE_EQ(report.entry_seconds_p95, 0.0);
+  EXPECT_DOUBLE_EQ(report.entry_seconds_p99, 0.0);
 }
 
 TEST_F(PcorBatchTest, AggregatesCountersAcrossTheBatch) {

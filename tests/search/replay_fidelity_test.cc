@@ -1,0 +1,155 @@
+// The replay promise of pcor.h, previously documented but untested in
+// full: for EVERY BatchEntry, re-running Release() (or ReleaseWithUtility
+// for pinned-utility requests) with the recorded rng_seed must reproduce
+// the entry's context, epsilon accounting and utility EXACTLY — across
+// every sampler and utility family, from multi-threaded batches.
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/search/pcor.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+void ExpectExactReplay(const PcorRelease& replay, const BatchEntry& entry) {
+  EXPECT_EQ(replay.context, entry.release.context);
+  EXPECT_EQ(replay.starting_context, entry.release.starting_context);
+  EXPECT_EQ(replay.description, entry.release.description);
+  EXPECT_DOUBLE_EQ(replay.epsilon_spent, entry.release.epsilon_spent);
+  EXPECT_DOUBLE_EQ(replay.epsilon1, entry.release.epsilon1);
+  EXPECT_EQ(replay.num_candidates, entry.release.num_candidates);
+  EXPECT_EQ(replay.probes, entry.release.probes);
+  EXPECT_DOUBLE_EQ(replay.utility_score, entry.release.utility_score);
+  EXPECT_EQ(replay.hit_probe_cap, entry.release.hit_probe_cap);
+}
+
+using ReplayParam = std::tuple<SamplerKind, UtilityKind>;
+
+class ReplayFidelityTest : public ::testing::TestWithParam<ReplayParam> {
+ protected:
+  ReplayFidelityTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        detector_(testing_util::MakeTestDetector()),
+        engine_(grid_.dataset, detector_) {}
+
+  testing_util::GridData grid_;
+  ZscoreDetector detector_;
+  PcorEngine engine_;
+};
+
+TEST_P(ReplayFidelityTest, EveryEntryReplaysExactly) {
+  const auto& [sampler, utility] = GetParam();
+  PcorOptions options;
+  options.sampler = sampler;
+  options.utility = utility;
+  options.num_samples = 6;
+  options.total_epsilon = 0.3;
+
+  std::vector<uint32_t> rows(8, grid_.v_row);
+  const BatchReleaseReport report = engine_.ReleaseBatch(
+      std::span<const uint32_t>(rows), options, /*seed=*/31, 4);
+  ASSERT_EQ(report.failures, 0u);
+
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    SCOPED_TRACE(i);
+    const BatchEntry& entry = report.entries[i];
+    Rng rng(entry.rng_seed);
+    auto replay = engine_.Release(entry.v_row, options, &rng);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    ExpectExactReplay(*replay, entry);
+  }
+}
+
+std::string ReplayName(const ::testing::TestParamInfo<ReplayParam>& info) {
+  const auto& [sampler, utility] = info.param;
+  return SamplerKindName(sampler) + "_" + UtilityKindName(utility);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ReplayFidelityTest,
+    ::testing::Combine(
+        ::testing::Values(SamplerKind::kDirect, SamplerKind::kUniform,
+                          SamplerKind::kRandomWalk, SamplerKind::kDfs,
+                          SamplerKind::kBfs),
+        ::testing::Values(UtilityKind::kPopulationSize,
+                          UtilityKind::kOverlapWithStart)),
+    ReplayName);
+
+// The experiment harness pins one utility per row (BatchRequest.utility);
+// those entries replay through ReleaseWithUtility instead.
+TEST(ReplayFidelityPinnedUtilityTest, PinnedEntriesReplayExactly) {
+  auto grid = testing_util::MakeSpreadGridDataset();
+  ZscoreDetector detector = testing_util::MakeTestDetector();
+  PcorEngine engine(grid.dataset, detector);
+
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 6;
+  options.total_epsilon = 0.3;
+
+  Rng start_rng(5);
+  auto start = FindStartingContext(engine.verifier(), grid.v_row,
+                                   options.starting_context, &start_rng);
+  ASSERT_TRUE(start.ok()) << start.status().ToString();
+  std::unique_ptr<UtilityFunction> pinned =
+      MakeUtility(UtilityKind::kOverlapWithStart, engine.verifier(), *start);
+
+  std::vector<BatchRequest> requests(6);
+  for (auto& r : requests) {
+    r.v_row = grid.v_row;
+    r.utility = pinned.get();
+  }
+  const BatchReleaseReport report = engine.ReleaseBatch(
+      std::span<const BatchRequest>(requests), options, /*seed=*/77, 3);
+  ASSERT_EQ(report.failures, 0u);
+
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    SCOPED_TRACE(i);
+    const BatchEntry& entry = report.entries[i];
+    Rng rng(entry.rng_seed);
+    auto replay =
+        engine.ReleaseWithUtility(entry.v_row, options, *pinned, &rng);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    ExpectExactReplay(*replay, entry);
+  }
+}
+
+// Explicit-seed entries (the serving front-end's admission path) carry
+// their replay seed verbatim; the same promise must hold for them.
+TEST(ReplayFidelityExplicitSeedTest, ExplicitSeedEntriesReplayExactly) {
+  auto grid = testing_util::MakeSpreadGridDataset();
+  ZscoreDetector detector = testing_util::MakeTestDetector();
+  PcorEngine engine(grid.dataset, detector);
+
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 6;
+  options.total_epsilon = 0.3;
+
+  std::vector<BatchRequest> requests(5);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].v_row = grid.v_row;
+    requests[i].use_explicit_seed = true;
+    requests[i].rng_seed = SplitMix64Mix(1000 + i);
+  }
+  const BatchReleaseReport report = engine.ReleaseBatch(
+      std::span<const BatchRequest>(requests), options, /*seed=*/0, 2);
+  ASSERT_EQ(report.failures, 0u);
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    SCOPED_TRACE(i);
+    const BatchEntry& entry = report.entries[i];
+    EXPECT_EQ(entry.rng_seed, requests[i].rng_seed);
+    Rng rng(entry.rng_seed);
+    auto replay = engine.Release(entry.v_row, options, &rng);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    ExpectExactReplay(*replay, entry);
+  }
+}
+
+}  // namespace
+}  // namespace pcor

@@ -1,0 +1,247 @@
+// The serving front-end's core contract: coalescing is invisible. A fixed
+// per-client request plan must produce bit-identical PcorRelease results
+// whether it is submitted serially, packed into one giant micro-batch, or
+// raced from 16 client threads — and every served entry must replay exactly
+// through PcorEngine::Release from its recorded seed.
+#include "src/serve/server.h"
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/string_util.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+constexpr size_t kClients = 16;
+constexpr size_t kPerClient = 8;
+constexpr uint64_t kServerSeed = 424242;
+
+struct PlannedRequest {
+  std::string client;
+  size_t k = 0;  // the client's own submission index
+  uint32_t v_row = 0;
+};
+
+// (client, k) -> the completed entry.
+using ResultMap = std::map<std::pair<std::string, size_t>, BatchEntry>;
+
+class ServerDeterminismTest : public ::testing::Test {
+ protected:
+  ServerDeterminismTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        detector_(testing_util::MakeTestDetector()),
+        engine_(grid_.dataset, detector_) {}
+
+  // Every client's ordered plan: mostly the real outlier, with one
+  // guaranteed-failing row in the middle so error determinism is covered.
+  std::vector<PlannedRequest> MakePlan() const {
+    std::vector<PlannedRequest> plan;
+    for (size_t c = 0; c < kClients; ++c) {
+      for (size_t k = 0; k < kPerClient; ++k) {
+        PlannedRequest req;
+        req.client = strings::Format("c%zu", c);
+        req.k = k;
+        req.v_row = (k == 3) ? 1 : grid_.v_row;  // row 1 never releases
+        plan.push_back(req);
+      }
+    }
+    return plan;
+  }
+
+  PcorOptions ReleaseOptions() const {
+    PcorOptions options;
+    options.sampler = SamplerKind::kBfs;
+    options.num_samples = 8;
+    options.total_epsilon = 0.4;
+    return options;
+  }
+
+  testing_util::GridData grid_;
+  ZscoreDetector detector_;
+  PcorEngine engine_;
+};
+
+void ExpectIdenticalEntry(const BatchEntry& a, const BatchEntry& b) {
+  EXPECT_EQ(a.v_row, b.v_row);
+  EXPECT_EQ(a.rng_seed, b.rng_seed);
+  ASSERT_EQ(a.status.ok(), b.status.ok())
+      << a.status.ToString() << " vs " << b.status.ToString();
+  if (!a.status.ok()) {
+    EXPECT_EQ(a.status.code(), b.status.code());
+    return;
+  }
+  EXPECT_EQ(a.release.context, b.release.context);
+  EXPECT_EQ(a.release.starting_context, b.release.starting_context);
+  EXPECT_EQ(a.release.description, b.release.description);
+  EXPECT_DOUBLE_EQ(a.release.epsilon_spent, b.release.epsilon_spent);
+  EXPECT_DOUBLE_EQ(a.release.epsilon1, b.release.epsilon1);
+  EXPECT_EQ(a.release.num_candidates, b.release.num_candidates);
+  EXPECT_EQ(a.release.probes, b.release.probes);
+  EXPECT_DOUBLE_EQ(a.release.utility_score, b.release.utility_score);
+  EXPECT_EQ(a.release.hit_probe_cap, b.release.hit_probe_cap);
+}
+
+TEST_F(ServerDeterminismTest, SerialCoalescedAndRacedRunsAreBitIdentical) {
+  const std::vector<PlannedRequest> plan = MakePlan();
+
+  // Run A — serial: one thread submits the whole plan in order, waiting
+  // for each result before the next submission (no coalescing possible).
+  ResultMap serial;
+  {
+    ServeOptions options;
+    options.release = ReleaseOptions();
+    options.seed = kServerSeed;
+    options.max_batch = 1;
+    options.max_delay_us = 0;
+    PcorServer server(engine_, options);
+    for (const PlannedRequest& req : plan) {
+      BatchRequest request;
+      request.v_row = req.v_row;
+      auto future = server.SubmitAsync(request, req.client);
+      ASSERT_TRUE(future.ok()) << future.status().ToString();
+      serial[{req.client, req.k}] = future->Get();
+    }
+  }
+
+  // Run B — one giant coalesced micro-batch: everything is admitted before
+  // the dispatcher's delay expires, so the full plan executes as one
+  // ReleaseBatch call.
+  ResultMap coalesced;
+  {
+    ServeOptions options;
+    options.release = ReleaseOptions();
+    options.seed = kServerSeed;
+    options.max_batch = plan.size();
+    options.max_delay_us = 2'000'000;
+    PcorServer server(engine_, options);
+    std::vector<Future<BatchEntry>> futures;
+    futures.reserve(plan.size());
+    for (const PlannedRequest& req : plan) {
+      BatchRequest request;
+      request.v_row = req.v_row;
+      auto future = server.SubmitAsync(request, req.client);
+      ASSERT_TRUE(future.ok()) << future.status().ToString();
+      futures.push_back(std::move(*future));
+    }
+    for (size_t i = 0; i < plan.size(); ++i) {
+      coalesced[{plan[i].client, plan[i].k}] = futures[i].Get();
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.max_coalesced, plan.size() / 2)
+        << "the coalescing run should actually coalesce";
+  }
+
+  // Run C — 16 racing client threads with a small batch bound, so the
+  // micro-batch shapes differ run to run; the results must not.
+  ResultMap raced;
+  {
+    ServeOptions options;
+    options.release = ReleaseOptions();
+    options.seed = kServerSeed;
+    options.max_batch = 4;
+    options.max_delay_us = 100;
+    PcorServer server(engine_, options);
+    std::mutex raced_mu;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        const std::string client = strings::Format("c%zu", c);
+        std::vector<Future<BatchEntry>> futures;
+        std::vector<size_t> ks;
+        for (const PlannedRequest& req : plan) {
+          if (req.client != client) continue;
+          BatchRequest request;
+          request.v_row = req.v_row;
+          auto future = server.SubmitAsync(request, client);
+          ASSERT_TRUE(future.ok()) << future.status().ToString();
+          futures.push_back(std::move(*future));
+          ks.push_back(req.k);
+        }
+        for (size_t i = 0; i < futures.size(); ++i) {
+          BatchEntry entry = futures[i].Get();
+          std::unique_lock<std::mutex> lock(raced_mu);
+          raced[{client, ks[i]}] = std::move(entry);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  ASSERT_EQ(serial.size(), plan.size());
+  ASSERT_EQ(coalesced.size(), plan.size());
+  ASSERT_EQ(raced.size(), plan.size());
+  for (const auto& [key, entry] : serial) {
+    SCOPED_TRACE(key.first + "/" + std::to_string(key.second));
+    ExpectIdenticalEntry(entry, coalesced.at(key));
+    ExpectIdenticalEntry(entry, raced.at(key));
+  }
+}
+
+TEST_F(ServerDeterminismTest, ServedEntriesReplayThroughRelease) {
+  ServeOptions options;
+  options.release = ReleaseOptions();
+  options.seed = kServerSeed;
+  options.max_batch = 8;
+  PcorServer server(engine_, options);
+
+  for (size_t k = 0; k < 6; ++k) {
+    BatchRequest request;
+    request.v_row = grid_.v_row;
+    auto future = server.SubmitAsync(request, "replayer");
+    ASSERT_TRUE(future.ok());
+    BatchEntry entry = future->Get();
+    ASSERT_TRUE(entry.status.ok()) << entry.status.ToString();
+
+    // The seed is predictable from (server seed, client, k)...
+    EXPECT_EQ(entry.rng_seed,
+              PcorServer::RequestSeed(kServerSeed, "replayer", k));
+    // ...and replaying it through the engine reproduces the release.
+    Rng rng(entry.rng_seed);
+    auto replay = engine_.Release(grid_.v_row, options.release, &rng);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_EQ(replay->context, entry.release.context);
+    EXPECT_EQ(replay->description, entry.release.description);
+    EXPECT_DOUBLE_EQ(replay->epsilon_spent, entry.release.epsilon_spent);
+    EXPECT_DOUBLE_EQ(replay->utility_score, entry.release.utility_score);
+  }
+}
+
+TEST_F(ServerDeterminismTest, DistinctClientsDrawDistinctStreams) {
+  // Identical request bodies from different clients must not produce
+  // identical randomness: the stream family is keyed by client id.
+  EXPECT_NE(PcorServer::RequestSeed(kServerSeed, "alice", 0),
+            PcorServer::RequestSeed(kServerSeed, "bob", 0));
+  EXPECT_NE(PcorServer::RequestSeed(kServerSeed, "alice", 0),
+            PcorServer::RequestSeed(kServerSeed, "alice", 1));
+  EXPECT_NE(PcorServer::RequestSeed(1, "alice", 0),
+            PcorServer::RequestSeed(2, "alice", 0));
+}
+
+TEST_F(ServerDeterminismTest, SubmitManyPreservesOrderAndSeeds) {
+  ServeOptions options;
+  options.release = ReleaseOptions();
+  options.seed = kServerSeed;
+  PcorServer server(engine_, options);
+
+  std::vector<BatchRequest> requests(5);
+  for (auto& r : requests) r.v_row = grid_.v_row;
+  auto futures = server.SubmitMany(std::span<const BatchRequest>(requests),
+                                   "bulk");
+  ASSERT_EQ(futures.size(), requests.size());
+  for (size_t k = 0; k < futures.size(); ++k) {
+    ASSERT_TRUE(futures[k].ok());
+    BatchEntry entry = futures[k]->Get();
+    EXPECT_EQ(entry.rng_seed,
+              PcorServer::RequestSeed(kServerSeed, "bulk", k));
+    EXPECT_TRUE(entry.status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace pcor
