@@ -1,13 +1,15 @@
-// Serving: the async front-end over the batched release engine. Three
-// tenants submit query outliers concurrently; the server coalesces the
-// submissions into micro-batches over PcorEngine::ReleaseBatch, charges
-// each tenant's OCDP budget at admission, and completes one future per
-// request — deterministically: tenant T's k-th request draws the same Rng
-// stream no matter how the requests interleave or coalesce.
+// Serving: the async multi-tenant front-end over the batched release
+// engine. Three tenants with different QoS registrations submit query
+// outliers concurrently; the server picks admitted requests in
+// weighted-fair order, coalesces them into micro-batches over
+// PcorEngine::ReleaseBatch, charges each tenant's OCDP budget at
+// admission, and completes one future per request — deterministically:
+// tenant T's k-th request draws the same Rng stream no matter how the
+// requests interleave, coalesce, or get scheduled.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/serving
+//   ./build/examples/example_serving
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -43,20 +45,48 @@ int main() {
   ZscoreDetector detector(detector_options);
   PcorEngine engine(dataset, detector);
 
-  // Server: BFS releases at eps=0.2 each, micro-batches of up to 16 held
-  // open 500us for stragglers, and a per-tenant budget cap of eps=1.0 —
-  // five releases per tenant, then typed rejections.
+  // Server: BFS releases at eps=0.2 each by default, micro-batches of up
+  // to 16 held open 500us for stragglers, weighted-fair scheduling, and a
+  // default per-tenant budget cap of eps=1.0 — five releases per tenant,
+  // then typed rejections.
   ServeOptions options;
   options.release.sampler = SamplerKind::kBfs;
   options.release.num_samples = 8;
   options.release.total_epsilon = 0.2;
+  options.scheduling = SchedulingPolicy::kWeightedFair;
   options.max_batch = 16;
   options.max_delay_us = 500;
   options.per_client_epsilon_cap = 1.0;
   options.seed = 2021;
   PcorServer server(engine, options);
 
-  std::printf("three tenants, 7 submissions each, cap admits 5:\n\n");
+  // Per-tenant QoS: tenant-0 is a premium analyst (4x scheduling share and
+  // a raised budget cap), tenant-1 rides the defaults, tenant-2 registers
+  // a queue-depth bound of 4 as burst protection — a flood past it would
+  // fail fast with a typed kResourceExhausted instead of crowding the
+  // shared queue. (The closed-loop submissions below keep at most one
+  // request queued per tenant, so the bound never trips here; the depth
+  // contract is exercised by tests/serve/ and docs/serving.md.)
+  TenantConfig premium;
+  premium.weight = 4.0;
+  premium.epsilon_cap = 2.0;
+  server.RegisterTenant("tenant-0", premium).CheckOK();
+  TenantConfig bursty;
+  bursty.max_queue_depth = 4;
+  server.RegisterTenant("tenant-2", bursty).CheckOK();
+
+  // tenant-1 overrides the release configuration per request: a cheaper
+  // eps=0.1 uniform-sampling release instead of the server default. The
+  // override is validated at admission and charged at its own epsilon.
+  PcorOptions cheap;
+  cheap.sampler = SamplerKind::kUniform;
+  cheap.num_samples = 8;
+  cheap.total_epsilon = 0.1;
+
+  std::printf(
+      "three tenants, 7 submissions each; tenant-0's raised cap admits all "
+      "7 at\neps=0.2, tenant-1 submits eps=0.1 overrides (all 7 fit its "
+      "1.0 cap),\ntenant-2's default cap admits 5 and rejects 2:\n\n");
   std::vector<std::thread> tenants;
   std::mutex print_mu;
   for (int t = 0; t < 3; ++t) {
@@ -65,6 +95,7 @@ int main() {
       for (int k = 0; k < 7; ++k) {
         BatchRequest request;
         request.v_row = v_row;
+        if (t == 1) request.options = cheap;
         auto future = server.SubmitAsync(request, tenant);
         if (!future.ok()) {
           std::unique_lock<std::mutex> lock(print_mu);
@@ -96,7 +127,13 @@ int main() {
       stats.released, stats.rejected_budget, stats.batches,
       stats.max_coalesced, stats.epsilon_spent);
   std::printf(
+      "ledgers: tenant-0 %.2f/2.00, tenant-1 %.2f/1.00, tenant-2 "
+      "%.2f/1.00\n",
+      server.accountant().SpentBy("tenant-0"),
+      server.accountant().SpentBy("tenant-1"),
+      server.accountant().SpentBy("tenant-2"));
+  std::printf(
       "replay: any line above reproduces via PcorEngine::Release with the "
-      "printed seed — coalescing never changes an answer.\n");
+      "printed seed — scheduling and coalescing never change an answer.\n");
   return 0;
 }

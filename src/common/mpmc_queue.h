@@ -16,10 +16,11 @@ namespace pcor {
 /// closed -> Unavailable shutdown) instead of collapsing them into a bool.
 enum class QueueOp {
   kOk = 0,
-  kFull,     ///< TryPush on a queue at capacity
-  kEmpty,    ///< TryPop on an empty (but open) queue
-  kClosed,   ///< Push after Close(), or Pop after Close() drained everything
-  kTimedOut, ///< PopFor expired before an element arrived
+  kFull,       ///< TryPush on a queue at capacity
+  kEmpty,      ///< TryPop on an empty (but open) queue
+  kClosed,     ///< Push after Close(), or Pop after Close() drained everything
+  kTimedOut,   ///< PopFor expired before an element arrived
+  kTenantFull, ///< push past a per-tenant depth bound (WeightedFairQueue)
 };
 
 /// \brief Bounded multi-producer multi-consumer FIFO queue.

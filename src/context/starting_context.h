@@ -45,6 +45,10 @@ struct StartingContextOptions {
   size_t random_attempts = 512;
   /// Attempt budget for kBestOfRandom.
   size_t best_of_tries = 8;
+
+  /// Memberwise equality, so per-request PcorOptions overrides can be
+  /// compared against a batch's defaults (see BatchRequest::options).
+  bool operator==(const StartingContextOptions&) const = default;
 };
 
 /// \brief Finds a matching (valid) context for row `v_row`, or

@@ -1,12 +1,40 @@
 #include "src/exp/serving.h"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "src/common/string_util.h"
 #include "src/common/timer.h"
 
 namespace pcor {
+
+namespace {
+
+/// Tally one client thread accumulates locally and merges into its
+/// tenant's result once, so the measurement never serializes the very
+/// concurrency it exists to measure.
+struct ThreadTally {
+  std::vector<double> latencies;
+  size_t released = 0;
+  size_t failed = 0;
+  size_t rejected_budget = 0;
+  size_t rejected_queue = 0;
+  size_t exceptions = 0;
+  double end_seconds = 0.0;  ///< workload-clock time of the last completion
+};
+
+void RecordOutcome(const Result<Future<BatchEntry>>& submitted,
+                   ThreadTally* tally) {
+  if (submitted.status().IsPrivacyBudgetExceeded()) {
+    ++tally->rejected_budget;
+  } else {
+    ++tally->rejected_queue;
+  }
+}
+
+}  // namespace
 
 Result<ServingResult> RunServingWorkload(
     const PcorEngine& engine, const std::vector<uint32_t>& outlier_rows,
@@ -14,64 +42,145 @@ Result<ServingResult> RunServingWorkload(
   if (outlier_rows.empty()) {
     return Status::InvalidArgument("serving workload needs outlier rows");
   }
-  if (config.clients == 0 || config.requests_per_client == 0) {
-    return Status::InvalidArgument(
-        "serving workload needs at least one client and one request");
+
+  // Resolve the tenant mix: explicit tenants win; otherwise synthesize the
+  // legacy homogeneous client-<i> layout.
+  std::vector<TenantWorkload> tenants = config.tenants;
+  if (tenants.empty()) {
+    if (config.clients == 0 || config.requests_per_client == 0) {
+      return Status::InvalidArgument(
+          "serving workload needs at least one client and one request");
+    }
+    tenants.reserve(config.clients);
+    for (size_t c = 0; c < config.clients; ++c) {
+      TenantWorkload workload;
+      workload.id = strings::Format("client-%zu", c);
+      workload.requests_per_thread = config.requests_per_client;
+      tenants.push_back(std::move(workload));
+    }
+  }
+  std::unordered_set<std::string> seen_ids;
+  for (const TenantWorkload& tenant : tenants) {
+    if (tenant.id.empty()) {
+      return Status::InvalidArgument("tenant id must be non-empty");
+    }
+    if (!seen_ids.insert(tenant.id).second) {
+      return Status::InvalidArgument(
+          strings::Format("duplicate tenant id '%s'", tenant.id.c_str()));
+    }
+    if (tenant.threads == 0 || tenant.requests_per_thread == 0) {
+      return Status::InvalidArgument(strings::Format(
+          "tenant '%s' needs at least one thread and one request",
+          tenant.id.c_str()));
+    }
+    PCOR_RETURN_NOT_OK(ValidateTenantConfig(tenant.tenant));
+    if (tenant.request_options.has_value()) {
+      PCOR_RETURN_NOT_OK(ValidatePcorOptions(*tenant.request_options));
+    }
   }
 
   ServingResult result;
+  result.tenants.resize(tenants.size());
   WallTimer timer;
   PcorServer server(engine, config.serve);
+  for (const TenantWorkload& tenant : tenants) {
+    PCOR_RETURN_NOT_OK(server.RegisterTenant(tenant.id, tenant.tenant));
+  }
 
   std::mutex result_mu;
   std::vector<std::thread> clients;
-  clients.reserve(config.clients);
-  for (size_t c = 0; c < config.clients; ++c) {
-    clients.emplace_back([&, c] {
-      const std::string client_id = strings::Format("client-%zu", c);
-      // Local tallies merged once at the end: the measurement must not
-      // serialize the very concurrency it exists to measure.
-      std::vector<double> latencies;
-      latencies.reserve(config.requests_per_client);
-      size_t rejected_budget = 0;
-      size_t rejected_queue = 0;
-      size_t exceptions = 0;
-      for (size_t k = 0; k < config.requests_per_client; ++k) {
-        BatchRequest request;
-        request.v_row = outlier_rows[(c + k) % outlier_rows.size()];
-        WallTimer latency;
-        auto submitted = server.SubmitAsync(request, client_id);
-        if (!submitted.ok()) {
-          if (submitted.status().IsPrivacyBudgetExceeded()) {
-            ++rejected_budget;
-          } else {
-            ++rejected_queue;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const TenantWorkload& tenant = tenants[t];
+    for (size_t w = 0; w < tenant.threads; ++w) {
+      clients.emplace_back([&, t, w] {
+        const TenantWorkload& me = tenants[t];
+        ThreadTally tally;
+        tally.latencies.reserve(me.requests_per_thread);
+
+        const auto make_request = [&](size_t k) {
+          BatchRequest request;
+          request.v_row =
+              outlier_rows[(t * 31 + w * 7 + k) % outlier_rows.size()];
+          request.options = me.request_options;
+          return request;
+        };
+        const auto collect = [&](Future<BatchEntry>* future,
+                                 const WallTimer& latency) {
+          // Get() rethrows worker-side exceptions (poisoned
+          // pre_batch_hook, BrokenPromise); letting one escape a
+          // std::thread body would std::terminate the whole process, so
+          // tally it instead.
+          try {
+            const BatchEntry entry = future->Get();
+            tally.latencies.push_back(latency.ElapsedSeconds());
+            entry.status.ok() ? ++tally.released : ++tally.failed;
+          } catch (...) {
+            ++tally.exceptions;
           }
-          continue;
+          tally.end_seconds = timer.ElapsedSeconds();
+        };
+
+        if (me.flood) {
+          // Open loop: saturate first, collect after — the aggressor mode.
+          std::vector<Future<BatchEntry>> futures;
+          std::vector<WallTimer> submitted_at;
+          futures.reserve(me.requests_per_thread);
+          submitted_at.reserve(me.requests_per_thread);
+          for (size_t k = 0; k < me.requests_per_thread; ++k) {
+            WallTimer latency;
+            auto submitted = server.SubmitAsync(make_request(k), me.id);
+            if (!submitted.ok()) {
+              RecordOutcome(submitted, &tally);
+              continue;
+            }
+            futures.push_back(std::move(*submitted));
+            submitted_at.push_back(latency);
+          }
+          for (size_t i = 0; i < futures.size(); ++i) {
+            collect(&futures[i], submitted_at[i]);
+          }
+        } else {
+          // Closed loop: block on each future, then submit the next.
+          // Coalescing across the *other* clients still happens.
+          for (size_t k = 0; k < me.requests_per_thread; ++k) {
+            WallTimer latency;
+            auto submitted = server.SubmitAsync(make_request(k), me.id);
+            if (!submitted.ok()) {
+              RecordOutcome(submitted, &tally);
+              continue;
+            }
+            collect(&*submitted, latency);
+          }
         }
-        // A closed-loop client: block on the future, then submit the next
-        // request. Coalescing across the *other* clients still happens.
-        // Get() rethrows worker-side exceptions (poisoned pre_batch_hook,
-        // BrokenPromise); letting one escape a std::thread body would
-        // std::terminate the whole process, so tally it instead.
-        try {
-          (void)submitted.value().Get();
-          latencies.push_back(latency.ElapsedSeconds());
-        } catch (...) {
-          ++exceptions;
-        }
-      }
-      std::unique_lock<std::mutex> lock(result_mu);
-      result.latencies_s.insert(result.latencies_s.end(), latencies.begin(),
-                                latencies.end());
-      result.rejected_budget += rejected_budget;
-      result.rejected_queue += rejected_queue;
-      result.exceptions += exceptions;
-    });
+
+        std::unique_lock<std::mutex> lock(result_mu);
+        TenantResult& mine = result.tenants[t];
+        mine.latencies_s.insert(mine.latencies_s.end(),
+                                tally.latencies.begin(),
+                                tally.latencies.end());
+        mine.released += tally.released;
+        mine.failed += tally.failed;
+        mine.rejected_budget += tally.rejected_budget;
+        mine.rejected_queue += tally.rejected_queue;
+        mine.exceptions += tally.exceptions;
+        mine.wall_seconds = std::max(mine.wall_seconds, tally.end_seconds);
+      });
+    }
   }
   for (auto& t : clients) t.join();
   server.Shutdown(/*drain=*/true);
   result.wall_seconds = timer.ElapsedSeconds();
+
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    TenantResult& tenant = result.tenants[t];
+    tenant.id = tenants[t].id;
+    result.latencies_s.insert(result.latencies_s.end(),
+                              tenant.latencies_s.begin(),
+                              tenant.latencies_s.end());
+    result.rejected_budget += tenant.rejected_budget;
+    result.rejected_queue += tenant.rejected_queue;
+    result.exceptions += tenant.exceptions;
+  }
 
   const ServerStats stats = server.stats();
   result.released = stats.released;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,17 +11,76 @@
 
 namespace pcor {
 
-/// \brief One serving experiment: `clients` concurrent client threads each
-/// submit `requests_per_client` releases (round-robin over the outlier
-/// pool) to a PcorServer and block on their futures, measuring the
-/// end-to-end submit-to-completion latency the paper-style trial loop
-/// never sees.
+/// \brief One tenant's share of a serving workload: its QoS registration
+/// plus the request stream its client threads submit.
+struct TenantWorkload {
+  /// Tenant id the requests are submitted under (must be unique and
+  /// non-empty across the workload).
+  std::string id;
+  /// Registered on the server before any client thread starts.
+  TenantConfig tenant;
+  /// Concurrent closed-loop client threads submitting as this tenant.
+  size_t threads = 1;
+  /// Requests each thread submits.
+  size_t requests_per_thread = 25;
+  /// Per-request PcorOptions override carried on every one of this
+  /// tenant's requests (nullopt = the server's ServeOptions::release).
+  std::optional<PcorOptions> request_options;
+  /// Closed loop (default): each thread blocks on its future before the
+  /// next submission. Flood: each thread submits its whole stream
+  /// up-front, then collects — an adversarial tenant saturating the queue,
+  /// which is what the fairness bench uses as the heavy aggressor.
+  bool flood = false;
+};
+
+/// \brief Per-tenant slice of a ServingResult.
+struct TenantResult {
+  std::string id;
+  std::vector<double> latencies_s;  ///< per completed request, any order
+  size_t released = 0;              ///< entries with OK status
+  size_t failed = 0;                ///< entries with an error status
+  size_t rejected_budget = 0;       ///< admissions refused over budget
+  /// Every other admission refusal: global-queue backpressure, the
+  /// tenant's own depth bound, invalid options, shutdown. The driver sees
+  /// only the returned Status (depth and queue-full are both
+  /// kResourceExhausted); consult ServerStats for the precise
+  /// rejected_queue / rejected_depth / rejected_invalid split.
+  size_t rejected_queue = 0;
+  size_t exceptions = 0;            ///< futures that rethrew a worker error
+  /// Workload start to this tenant's last completion — the denominator of
+  /// this tenant's observed service rate.
+  double wall_seconds = 0.0;
+
+  /// 0.0 for a tenant with no completions (e.g. everything was
+  /// door-rejected) rather than the Percentile CHECK on an empty sample.
+  double latency_quantile(double q) const {
+    return latencies_s.empty() ? 0.0 : Percentile(latencies_s, q);
+  }
+  double releases_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(released) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// \brief One serving experiment: concurrent client threads submit
+/// releases (round-robin over the outlier pool) to a PcorServer and block
+/// on their futures, measuring the end-to-end submit-to-completion latency
+/// the paper-style trial loop never sees.
+///
+/// Two ways to describe the clients:
+///  * homogeneous (legacy): `clients` threads of `requests_per_client`
+///    each, one tenant per thread named "client-<i>", default QoS;
+///  * multi-tenant: explicit `tenants`, each with its own TenantConfig
+///    (weight, depth bound, epsilon cap), thread count, per-request
+///    options and submission mode. When `tenants` is non-empty it wins.
 struct ServingConfig {
   size_t clients = 4;
   size_t requests_per_client = 25;
-  /// Server configuration (micro-batching, queue bound, budget cap, and
-  /// the shared PcorOptions under `serve.release`).
+  /// Server configuration (micro-batching, queue bound, scheduling policy,
+  /// budget cap, and the default PcorOptions under `serve.release`).
   ServeOptions serve;
+  /// Explicit multi-tenant mix (see above).
+  std::vector<TenantWorkload> tenants;
 };
 
 /// \brief Aggregate outcome of RunServingWorkload.
@@ -29,16 +89,20 @@ struct ServingResult {
   size_t released = 0;              ///< entries with OK status
   size_t failed = 0;                ///< entries with an error status
   size_t rejected_budget = 0;       ///< admissions refused over budget
-  size_t rejected_queue = 0;        ///< admissions refused by backpressure
+  size_t rejected_queue = 0;        ///< all non-budget admission refusals
   size_t exceptions = 0;            ///< futures that rethrew a worker error
   size_t batches = 0;               ///< micro-batches the server executed
   size_t max_coalesced = 0;         ///< largest micro-batch observed
   size_t hit_probe_cap = 0;         ///< released entries that hit the cap
   double epsilon_spent = 0.0;       ///< across all client ledgers
   double wall_seconds = 0.0;        ///< whole-workload wall time
+  /// Per-tenant breakdown, one entry per configured tenant (or per legacy
+  /// "client-<i>"), in configuration order.
+  std::vector<TenantResult> tenants;
 
+  /// 0.0 when nothing completed (see TenantResult::latency_quantile).
   double latency_quantile(double q) const {
-    return Percentile(latencies_s, q);
+    return latencies_s.empty() ? 0.0 : Percentile(latencies_s, q);
   }
   double releases_per_second() const {
     return wall_seconds > 0.0
@@ -48,9 +112,10 @@ struct ServingResult {
 };
 
 /// \brief Drives a fresh PcorServer over `engine` with concurrent client
-/// threads (client c is named "client-c" and draws its deterministic
-/// per-(client, seq) request streams). Returns aggregate latency/throughput
-/// plus the server's own counters.
+/// threads; tenants are registered with their TenantConfig before any
+/// submission. Each tenant draws its deterministic per-(tenant, seq)
+/// request streams. Returns aggregate latency/throughput, the server's own
+/// counters, and the per-tenant breakdown.
 Result<ServingResult> RunServingWorkload(
     const PcorEngine& engine, const std::vector<uint32_t>& outlier_rows,
     const ServingConfig& config);

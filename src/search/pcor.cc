@@ -2,14 +2,31 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "src/common/simd.h"
 #include "src/common/stats.h"
+#include "src/common/string_util.h"
 #include "src/common/threading.h"
 #include "src/common/timer.h"
 #include "src/dp/mechanism.h"
 
 namespace pcor {
+
+Status ValidatePcorOptions(const PcorOptions& options) {
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be at least 1");
+  }
+  if (!std::isfinite(options.total_epsilon) || options.total_epsilon <= 0.0) {
+    return Status::InvalidArgument(strings::Format(
+        "total_epsilon must be finite and positive, got %g",
+        options.total_epsilon));
+  }
+  if (options.max_probes == 0) {
+    return Status::InvalidArgument("max_probes must be at least 1");
+  }
+  return Status::OK();
+}
 
 PcorEngine::PcorEngine(const Dataset& dataset,
                        const OutlierDetector& detector,
@@ -21,6 +38,7 @@ PcorEngine::PcorEngine(const Dataset& dataset,
 Result<PcorRelease> PcorEngine::Release(uint32_t v_row,
                                         const PcorOptions& options,
                                         Rng* rng) const {
+  PCOR_RETURN_NOT_OK(ValidatePcorOptions(options));
   // Graph samplers need C_V before the utility can be built (the overlap
   // utility is defined relative to it).
   const bool needs_start = options.sampler == SamplerKind::kRandomWalk ||
@@ -43,6 +61,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
     uint32_t v_row, const PcorOptions& options,
     const UtilityFunction& utility, Rng* rng) const {
   WallTimer timer;
+  PCOR_RETURN_NOT_OK(ValidatePcorOptions(options));
   if (v_row >= dataset_->num_rows()) {
     return Status::OutOfRange("v_row outside dataset");
   }
@@ -136,19 +155,25 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
 
   // Each worker drains a shared index counter; entry i's Rng stream depends
   // only on (seed, i), never on which worker claims it, so scheduling
-  // cannot perturb the released contexts.
+  // cannot perturb the released contexts. Entries carrying their own
+  // PcorOptions resolve them here — a heterogeneous batch is executed as
+  // homogeneous per-entry sub-batches on the one pool pass, with no
+  // barrier between configurations (nothing in a release depends on a
+  // sibling entry's options).
   std::atomic<size_t> next{0};
   const auto run_one = [&](size_t i) {
     BatchEntry& entry = report.entries[i];
     entry.v_row = requests[i].v_row;
     entry.rng_seed = requests[i].use_explicit_seed ? requests[i].rng_seed
                                                    : BatchTrialSeed(seed, i);
+    const PcorOptions& effective =
+        requests[i].options ? *requests[i].options : options;
     Rng rng(entry.rng_seed);
     Result<PcorRelease> released =
         requests[i].utility == nullptr
-            ? Release(entry.v_row, options, &rng)
-            : ReleaseWithUtility(entry.v_row, options, *requests[i].utility,
-                                 &rng);
+            ? Release(entry.v_row, effective, &rng)
+            : ReleaseWithUtility(entry.v_row, effective,
+                                 *requests[i].utility, &rng);
     if (released.ok()) {
       entry.release = std::move(released).value();
     } else {

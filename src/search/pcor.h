@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,7 +35,20 @@ struct PcorOptions {
   StartingContextOptions starting_context;
   /// Probe cap forwarded to the sampler.
   size_t max_probes = 20'000'000;
+
+  /// Memberwise equality; the batch/serving layers use it to recognize
+  /// entries that share a configuration (homogeneous sub-batches).
+  bool operator==(const PcorOptions&) const = default;
 };
+
+/// \brief Checks a PcorOptions for values no release can run under:
+/// `num_samples == 0`, a non-finite or non-positive `total_epsilon`, or
+/// `max_probes == 0`. Returns kInvalidArgument naming the offending field.
+///
+/// Release/ReleaseWithUtility apply it on entry, and the serving front-end
+/// applies it at admission so a bad per-request override is rejected
+/// synchronously, before any budget is charged.
+Status ValidatePcorOptions(const PcorOptions& options);
 
 /// \brief The released context plus release metadata (data-owner side).
 struct PcorRelease {
@@ -57,9 +71,9 @@ struct PcorRelease {
 
 /// \brief One unit of work for ReleaseBatch: a query outlier plus an
 /// optional fixed utility. When `utility` is null the engine derives one
-/// from PcorOptions per release (starting context included); a non-null
-/// utility pins both, which the experiment harness uses to keep C_V fixed
-/// per row. The pointee must outlive the batch call.
+/// from the effective PcorOptions per release (starting context included);
+/// a non-null utility pins both, which the experiment harness uses to keep
+/// C_V fixed per row. The pointee must outlive the batch call.
 struct BatchRequest {
   uint32_t v_row = 0;
   const UtilityFunction* utility = nullptr;
@@ -71,6 +85,16 @@ struct BatchRequest {
   /// packed with 63 strangers.
   bool use_explicit_seed = false;
   uint64_t rng_seed = 0;
+  /// Per-request release configuration (sampler, epsilon split, probe
+  /// budget, ...). When set, it replaces the batch-level PcorOptions for
+  /// this entry only — a heterogeneous batch partitions into homogeneous
+  /// sub-batches by construction, since every entry resolves its own
+  /// effective options while still executing on the shared ThreadPool and
+  /// verifier cache. Held by value: the serving front-end copies requests
+  /// into its admission queue, where a pointee could not be kept alive.
+  /// Callers are responsible for passing a valid configuration (see
+  /// ValidatePcorOptions); an invalid one fails the entry, not the batch.
+  std::optional<PcorOptions> options;
 };
 
 /// \brief Outcome of one batch item. `release` is meaningful iff
@@ -130,6 +154,10 @@ class PcorEngine {
   /// Steps: (1) find C_V, (2) derive eps1 from the OCDP budget and the
   /// sampler kind, (3) collect C_M with the sampler, (4) one final
   /// Exponential-mechanism draw over C_M picks the release.
+  ///
+  /// Errors: kInvalidArgument (options fail ValidatePcorOptions),
+  /// kOutOfRange (v_row outside the dataset), kNoValidContext (V is not a
+  /// contextual outlier under this detector).
   Result<PcorRelease> Release(uint32_t v_row, const PcorOptions& options,
                               Rng* rng) const;
 
@@ -147,12 +175,18 @@ class PcorEngine {
   ///
   /// `num_threads` 0 means DefaultThreadCount(). Per-entry errors (e.g. a
   /// row with no valid context) are recorded in the entry, not returned:
-  /// one bad row must not sink a 10k-row batch.
+  /// one bad row must not sink a 10k-row batch. Blocks until every entry
+  /// completed; thread-safe for concurrent calls on one engine.
   BatchReleaseReport ReleaseBatch(std::span<const uint32_t> v_rows,
                                   const PcorOptions& options, uint64_t seed,
                                   size_t num_threads = 0) const;
 
-  /// \brief Generalized batch: per-item fixed utilities (see BatchRequest).
+  /// \brief Generalized batch: per-item fixed utilities, explicit seeds,
+  /// and per-item PcorOptions overrides (see BatchRequest). `options` is
+  /// the default an entry without its own override runs under. Entries with
+  /// differing options form homogeneous sub-batches executed on the same
+  /// pool pass and verifier cache; an entry whose override fails
+  /// ValidatePcorOptions completes with a kInvalidArgument status.
   BatchReleaseReport ReleaseBatch(std::span<const BatchRequest> requests,
                                   const PcorOptions& options, uint64_t seed,
                                   size_t num_threads = 0) const;

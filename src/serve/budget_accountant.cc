@@ -27,15 +27,42 @@ Status BudgetAccountant::Charge(std::string_view client_id, double epsilon) {
     it = spent_.emplace(std::string(client_id), 0.0).first;
   }
   double& spent = it->second;
+  const double cap = CapForLocked(client_id);
   const double after = spent + epsilon;
-  if (after > cap_ + kRelTolerance * std::max(1.0, cap_)) {
+  if (after > cap + kRelTolerance * std::max(1.0, cap)) {
     return Status::PrivacyBudgetExceeded(strings::Format(
         "client '%.*s': spent %.6g + requested %.6g exceeds cap %.6g",
         static_cast<int>(client_id.size()), client_id.data(), spent, epsilon,
-        cap_));
+        cap));
   }
   spent = after;
   return Status::OK();
+}
+
+void BudgetAccountant::SetCap(std::string_view client_id, double cap) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = cap_overrides_.find(client_id);
+  if (it == cap_overrides_.end()) {
+    cap_overrides_.emplace(std::string(client_id), cap);
+  } else {
+    it->second = cap;
+  }
+}
+
+void BudgetAccountant::ClearCap(std::string_view client_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = cap_overrides_.find(client_id);
+  if (it != cap_overrides_.end()) cap_overrides_.erase(it);
+}
+
+double BudgetAccountant::CapFor(std::string_view client_id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return CapForLocked(client_id);
+}
+
+double BudgetAccountant::CapForLocked(std::string_view client_id) const {
+  auto it = cap_overrides_.find(client_id);
+  return it == cap_overrides_.end() ? cap_ : it->second;
 }
 
 void BudgetAccountant::Refund(std::string_view client_id, double epsilon) {

@@ -17,7 +17,8 @@ PcorServer::PcorServer(const PcorEngine& engine, ServeOptions options)
     : engine_(&engine),
       options_(std::move(options)),
       accountant_(options_.per_client_epsilon_cap),
-      queue_(std::max<size_t>(1, options_.queue_capacity)),
+      queue_(std::max<size_t>(1, options_.queue_capacity),
+             options_.scheduling),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
 PcorServer::~PcorServer() { Shutdown(/*drain=*/true); }
@@ -34,9 +35,36 @@ uint64_t PcorServer::RequestSeed(uint64_t server_seed,
   return SplitMix64Mix(h + 0x9e3779b97f4a7c15ULL * (k + 1));
 }
 
+Status PcorServer::RegisterTenant(std::string_view tenant_id,
+                                  const TenantConfig& config) {
+  PCOR_RETURN_NOT_OK(ValidateTenantConfig(config));
+  queue_.RegisterTenant(tenant_id, config.weight, config.max_queue_depth);
+  // Registration is an upsert of the WHOLE config: an unset epsilon_cap
+  // restores inheritance of the server-wide default, it does not keep a
+  // stale override from an earlier registration.
+  if (config.epsilon_cap.has_value()) {
+    accountant_.SetCap(tenant_id, *config.epsilon_cap);
+  } else {
+    accountant_.ClearCap(tenant_id);
+  }
+  return Status::OK();
+}
+
 Result<Future<BatchEntry>> PcorServer::SubmitAsync(
     const BatchRequest& request, std::string_view client_id) {
-  const double cost = options_.release.total_epsilon;
+  // A bad per-request override is the submitter's bug: reject it before
+  // anything is charged or sequenced, so the tenant's budget and stream
+  // indices are exactly as if the call never happened.
+  if (request.options.has_value()) {
+    Status valid = ValidatePcorOptions(*request.options);
+    if (!valid.ok()) {
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected_invalid;
+      return valid;
+    }
+  }
+  const double cost = request.options ? request.options->total_epsilon
+                                      : options_.release.total_epsilon;
   {
     std::unique_lock<std::mutex> lock(state_mu_);
     if (shutting_down_) {
@@ -56,6 +84,7 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
   pending.client_id = std::string(client_id);
   pending.request = request;
   pending.request.use_explicit_seed = true;
+  pending.cost = cost;
   uint64_t my_seq = 0;
   {
     std::unique_lock<std::mutex> lock(state_mu_);
@@ -77,8 +106,8 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
   Future<BatchEntry> future = pending.promise.GetFuture();
 
   QueueOp pushed = options_.backpressure == BackpressurePolicy::kBlock
-                       ? queue_.Push(std::move(pending))
-                       : queue_.TryPush(std::move(pending));
+                       ? queue_.Push(client_id, std::move(pending))
+                       : queue_.TryPush(client_id, std::move(pending));
   if (pushed != QueueOp::kOk) {
     // Nothing ran against the data: roll the admission back. The stream
     // slot is returned only if no other submission for this client claimed
@@ -93,6 +122,10 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
       if (it != client_seq_.end() && it->second == my_seq + 1) --it->second;
     }
     std::unique_lock<std::mutex> stats_lock(stats_mu_);
+    if (pushed == QueueOp::kTenantFull) {
+      ++stats_.rejected_depth;
+      return Status::ResourceExhausted("tenant queue depth exceeded");
+    }
     ++stats_.rejected_queue;
     if (pushed == QueueOp::kFull) {
       return Status::ResourceExhausted("admission queue is full");
@@ -156,8 +189,7 @@ void PcorServer::DispatcherLoop() {
         entry.v_row = pending.request.v_row;
         entry.rng_seed = pending.request.rng_seed;
         entry.status = Status::Unavailable("server shut down before dispatch");
-        accountant_.Refund(pending.client_id,
-                           options_.release.total_epsilon);
+        accountant_.Refund(pending.client_id, pending.cost);
         pending.promise.Set(std::move(entry));
       }
       std::unique_lock<std::mutex> stats_lock(stats_mu_);

@@ -18,6 +18,7 @@
 #include "src/common/result.h"
 #include "src/search/pcor.h"
 #include "src/serve/budget_accountant.h"
+#include "src/serve/scheduler.h"
 
 namespace pcor {
 
@@ -48,8 +49,13 @@ enum class BackpressurePolicy {
 
 /// \brief Serving front-end configuration.
 struct ServeOptions {
-  /// Release configuration every request shares (sampler, epsilon, n, ...).
+  /// Default release configuration (sampler, epsilon, n, ...) for requests
+  /// that do not carry their own BatchRequest::options override.
   PcorOptions release;
+  /// Dispatch pick order across tenants (see SchedulingPolicy). Either
+  /// policy preserves per-tenant submission order, and neither can perturb
+  /// any release — seeds are fixed at admission.
+  SchedulingPolicy scheduling = SchedulingPolicy::kWeightedFair;
   /// Largest micro-batch one dispatch executes. Bigger batches amortize
   /// ThreadPool fan-out and keep the shared verifier cache hot.
   size_t max_batch = 64;
@@ -83,31 +89,43 @@ struct ServerStats {
   size_t failed = 0;           ///< entries completed with an error status
   size_t rejected_budget = 0;  ///< submissions refused: budget cap
   size_t rejected_queue = 0;   ///< submissions refused: queue full/shutdown
+  size_t rejected_depth = 0;   ///< submissions refused: tenant depth bound
+  size_t rejected_invalid = 0; ///< submissions refused: bad request options
   size_t batches = 0;          ///< micro-batches executed
   size_t max_coalesced = 0;    ///< largest micro-batch observed
   size_t hit_probe_cap = 0;    ///< released entries that hit max_probes
   double epsilon_spent = 0.0;  ///< sum of all client ledgers
 };
 
-/// \brief Asynchronous serving front-end over PcorEngine::ReleaseBatch.
+/// \brief Asynchronous multi-tenant serving front-end over
+/// PcorEngine::ReleaseBatch.
 ///
 /// Many client threads call SubmitAsync/SubmitMany; a dispatcher thread
-/// coalesces pending requests into micro-batches (up to max_batch, waiting
-/// at most max_delay_us for stragglers) and executes each on
-/// ReleaseBatch with the engine's shared verifier cache, completing one
-/// Future<BatchEntry> per request.
+/// picks admitted requests in scheduler order (weighted-fair across
+/// tenants by default, see ServeOptions::scheduling), coalesces them into
+/// micro-batches (up to max_batch, waiting at most max_delay_us for
+/// stragglers) and executes each on ReleaseBatch with the engine's shared
+/// verifier cache, completing one Future<BatchEntry> per request. A
+/// request may carry its own PcorOptions (BatchRequest::options),
+/// validated at admission; entries with differing options execute as
+/// homogeneous sub-batches of the same micro-batch.
 ///
 /// Determinism: a request's Rng stream seed is fixed at admission as
 /// RequestSeed(seed, client_id, k) where k is the client's own 0-based
-/// submission index. Coalescing shape, dispatch order and thread count
-/// therefore cannot perturb any release: the same per-client request
-/// sequences produce bit-identical PcorRelease results whether submitted
-/// serially, in one giant batch, or raced from 16 threads.
+/// submission index. Coalescing shape, scheduling policy, dispatch order
+/// and thread count therefore cannot perturb any release: the same
+/// per-client request sequences produce bit-identical PcorRelease results
+/// whether submitted serially, in one giant batch, or raced from 16
+/// threads, under FIFO or weighted-fair scheduling.
 ///
-/// Privacy: admission charges release.total_epsilon to the client's
-/// BudgetAccountant ledger; over-cap submissions are rejected with a typed
-/// kPrivacyBudgetExceeded status (see BudgetAccountant for the refund
-/// rules).
+/// Privacy: admission charges the request's effective total_epsilon to the
+/// client's BudgetAccountant ledger; over-cap submissions are rejected
+/// with a typed kPrivacyBudgetExceeded status (see BudgetAccountant for
+/// the refund rules).
+///
+/// Thread-safety: every public method may be called concurrently from any
+/// thread. SubmitAsync blocks only under BackpressurePolicy::kBlock with a
+/// full queue; Shutdown blocks until the dispatcher exits.
 class PcorServer {
  public:
   /// \brief The engine must outlive the server.
@@ -119,10 +137,27 @@ class PcorServer {
   PcorServer(const PcorServer&) = delete;
   PcorServer& operator=(const PcorServer&) = delete;
 
+  /// \brief Creates or updates tenant `tenant_id`'s QoS configuration:
+  /// scheduling weight, queue-depth bound, and the per-tenant epsilon cap
+  /// override on the BudgetAccountant. Each call upserts the whole
+  /// config: an unset epsilon_cap restores inheritance of the server-wide
+  /// default (it never keeps an earlier registration's override). May be
+  /// called before or after the tenant's first submission, from any
+  /// thread; weight/depth apply from the next scheduling decision, the
+  /// cap from the next admission. Returns kInvalidArgument for a
+  /// non-positive or non-finite weight, or a negative/NaN epsilon cap.
+  /// Never blocks.
+  Status RegisterTenant(std::string_view tenant_id,
+                        const TenantConfig& config);
+
   /// \brief Admits one request for `client_id`. Returns the future that
   /// completes with the request's BatchEntry, or a typed error:
-  /// kPrivacyBudgetExceeded (cap), kResourceExhausted (queue full under
-  /// kReject), kUnavailable (shutting down).
+  /// kInvalidArgument (per-request options fail ValidatePcorOptions;
+  /// nothing charged), kPrivacyBudgetExceeded (cap), kResourceExhausted
+  /// (tenant depth bound, or queue full under kReject), kUnavailable
+  /// (shutting down). Blocks only when the global queue is full under
+  /// BackpressurePolicy::kBlock — a tenant at its own depth bound is
+  /// rejected immediately and its charge refunded.
   Result<Future<BatchEntry>> SubmitAsync(const BatchRequest& request,
                                          std::string_view client_id);
 
@@ -144,15 +179,20 @@ class PcorServer {
   static uint64_t RequestSeed(uint64_t server_seed,
                               std::string_view client_id, uint64_t k);
 
+  /// \brief Snapshot of the lifetime counters; consistent within one call,
+  /// thread-safe, never blocks on the dispatcher.
   ServerStats stats() const;
+  /// \brief The per-tenant epsilon ledger (thread-safe; see
+  /// BudgetAccountant for the charge/refund contract).
   const BudgetAccountant& accountant() const { return accountant_; }
   const ServeOptions& options() const { return options_; }
 
  private:
   struct Pending {
-    BatchRequest request;  // carries the pinned per-request seed
+    BatchRequest request;  // carries the pinned seed + options override
     Promise<BatchEntry> promise;
     std::string client_id;  // for the abort-path refund
+    double cost = 0.0;      // epsilon charged at admission (refund amount)
   };
 
   void DispatcherLoop();
@@ -165,7 +205,7 @@ class PcorServer {
   const PcorEngine* engine_;
   const ServeOptions options_;
   BudgetAccountant accountant_;
-  BoundedMpmcQueue<Pending> queue_;
+  WeightedFairQueue<Pending> queue_;
 
   std::mutex state_mu_;
   ClientMap<uint64_t> client_seq_;

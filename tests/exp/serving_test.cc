@@ -97,6 +97,101 @@ TEST_F(ServingWorkloadTest, RejectsDegenerateConfigurations) {
   EXPECT_TRUE(RunServingWorkload(engine_, {grid_.v_row}, config)
                   .status()
                   .IsInvalidArgument());
+  config.clients = 1;
+  TenantWorkload nameless;
+  config.tenants = {nameless};
+  EXPECT_TRUE(RunServingWorkload(engine_, {grid_.v_row}, config)
+                  .status()
+                  .IsInvalidArgument());
+  TenantWorkload dup;
+  dup.id = "dup";
+  config.tenants = {dup, dup};
+  EXPECT_TRUE(RunServingWorkload(engine_, {grid_.v_row}, config)
+                  .status()
+                  .IsInvalidArgument());
+  TenantWorkload bad_weight;
+  bad_weight.id = "w";
+  bad_weight.tenant.weight = -2.0;
+  config.tenants = {bad_weight};
+  EXPECT_TRUE(RunServingWorkload(engine_, {grid_.v_row}, config)
+                  .status()
+                  .IsInvalidArgument());
+  TenantWorkload bad_options;
+  bad_options.id = "o";
+  bad_options.request_options.emplace();
+  bad_options.request_options->total_epsilon = -1.0;
+  config.tenants = {bad_options};
+  EXPECT_TRUE(RunServingWorkload(engine_, {grid_.v_row}, config)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ServingWorkloadTest, ReportsPerTenantBreakdown) {
+  ServingConfig config;
+  config.serve.release.sampler = SamplerKind::kBfs;
+  config.serve.release.num_samples = 6;
+  config.serve.release.total_epsilon = 0.2;
+  config.serve.max_batch = 8;
+  config.serve.max_delay_us = 100;
+  config.serve.seed = 21;
+
+  TenantWorkload premium;
+  premium.id = "premium";
+  premium.tenant.weight = 4.0;
+  premium.threads = 2;
+  premium.requests_per_thread = 3;
+  TenantWorkload cheap;
+  cheap.id = "cheap";
+  cheap.requests_per_thread = 4;
+  cheap.request_options.emplace();
+  cheap.request_options->sampler = SamplerKind::kUniform;
+  cheap.request_options->num_samples = 4;
+  cheap.request_options->total_epsilon = 0.05;
+  config.tenants = {premium, cheap};
+
+  auto result = RunServingWorkload(engine_, {grid_.v_row}, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->tenants.size(), 2u);
+  const TenantResult& premium_result = result->tenants[0];
+  const TenantResult& cheap_result = result->tenants[1];
+  EXPECT_EQ(premium_result.id, "premium");
+  EXPECT_EQ(cheap_result.id, "cheap");
+  EXPECT_EQ(premium_result.released, 6u);
+  EXPECT_EQ(cheap_result.released, 4u);
+  EXPECT_EQ(result->released, 10u);
+  EXPECT_EQ(premium_result.latencies_s.size(), 6u);
+  EXPECT_EQ(cheap_result.latencies_s.size(), 4u);
+  EXPECT_GT(premium_result.wall_seconds, 0.0);
+  // The per-request override priced cheap's releases at 0.05, premium's at
+  // the 0.2 default — visible in the ledger.
+  EXPECT_NEAR(result->epsilon_spent, 6 * 0.2 + 4 * 0.05, 1e-9);
+}
+
+TEST_F(ServingWorkloadTest, FloodModeSubmitsOpenLoop) {
+  ServingConfig config;
+  config.serve.release.sampler = SamplerKind::kBfs;
+  config.serve.release.num_samples = 6;
+  config.serve.release.total_epsilon = 0.2;
+  config.serve.max_batch = 4;
+  config.serve.max_delay_us = 50;
+  config.serve.queue_capacity = 64;
+  config.serve.seed = 22;
+
+  TenantWorkload flooder;
+  flooder.id = "flooder";
+  flooder.requests_per_thread = 12;
+  flooder.flood = true;
+  config.tenants = {flooder};
+
+  auto result = RunServingWorkload(engine_, {grid_.v_row}, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->released, 12u);
+  EXPECT_EQ(result->rejected_queue, 0u);
+  ASSERT_EQ(result->tenants.size(), 1u);
+  EXPECT_EQ(result->tenants[0].released, 12u);
+  // An open-loop flood coalesces: 12 requests in far fewer batches.
+  EXPECT_LE(result->batches, 6u);
+  EXPECT_GE(result->max_coalesced, 2u);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -167,6 +168,93 @@ TEST_F(PcorBatchTest, ExplicitSeedRequestsIgnoreBatchPosition) {
   ExpectSameRelease(solo.entries[0], crowd.entries.back());
   // Entries without the flag still derive from (seed, index).
   EXPECT_EQ(crowd.entries[0].rng_seed, PcorEngine::BatchTrialSeed(999, 0));
+}
+
+TEST_F(PcorBatchTest, PerEntryOptionsOverrideTheBatchDefaults) {
+  // A heterogeneous batch: entries 0/2 ride the batch defaults, entry 1
+  // carries a cheap uniform override, entry 3 a wide high-epsilon BFS one.
+  // Each entry must release exactly as a solo Release under its own
+  // effective options and seed — the sub-batches are homogeneous by
+  // construction.
+  PcorOptions defaults;
+  defaults.sampler = SamplerKind::kBfs;
+  defaults.num_samples = 8;
+  defaults.total_epsilon = 0.4;
+  PcorOptions cheap;
+  cheap.sampler = SamplerKind::kUniform;
+  cheap.num_samples = 4;
+  cheap.total_epsilon = 0.1;
+  PcorOptions wide = defaults;
+  wide.num_samples = 12;
+  wide.total_epsilon = 0.9;
+
+  std::vector<BatchRequest> requests(4);
+  for (auto& r : requests) r.v_row = grid_.v_row;
+  requests[1].options = cheap;
+  requests[3].options = wide;
+
+  const uint64_t seed = 77;
+  for (size_t threads : {1u, 4u}) {
+    const BatchReleaseReport report = engine_.ReleaseBatch(
+        std::span<const BatchRequest>(requests), defaults, seed, threads);
+    ASSERT_EQ(report.failures, 0u);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const PcorOptions& effective =
+          requests[i].options ? *requests[i].options : defaults;
+      Rng rng(PcorEngine::BatchTrialSeed(seed, i));
+      auto solo = engine_.Release(grid_.v_row, effective, &rng);
+      ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+      EXPECT_EQ(report.entries[i].release.context, solo->context);
+      EXPECT_DOUBLE_EQ(report.entries[i].release.epsilon_spent,
+                       solo->epsilon_spent);
+      EXPECT_DOUBLE_EQ(report.entries[i].release.epsilon1, solo->epsilon1);
+      EXPECT_EQ(report.entries[i].release.probes, solo->probes);
+    }
+    // The aggregate epsilon reflects the per-entry prices, not 4 defaults.
+    EXPECT_NEAR(report.total_epsilon_spent, 0.4 + 0.1 + 0.4 + 0.9, 1e-12);
+  }
+}
+
+TEST_F(PcorBatchTest, InvalidPerEntryOptionsFailTheEntryNotTheBatch) {
+  PcorOptions defaults;
+  defaults.sampler = SamplerKind::kBfs;
+  defaults.num_samples = 8;
+  defaults.total_epsilon = 0.4;
+
+  std::vector<BatchRequest> requests(3);
+  for (auto& r : requests) r.v_row = grid_.v_row;
+  requests[1].options = defaults;
+  requests[1].options->total_epsilon = 0.0;  // fails ValidatePcorOptions
+
+  const BatchReleaseReport report = engine_.ReleaseBatch(
+      std::span<const BatchRequest>(requests), defaults, /*seed=*/5, 2);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_TRUE(report.entries[0].status.ok());
+  EXPECT_TRUE(report.entries[1].status.IsInvalidArgument())
+      << report.entries[1].status.ToString();
+  EXPECT_TRUE(report.entries[2].status.ok());
+}
+
+TEST_F(PcorBatchTest, ValidatePcorOptionsCatchesDegenerateConfigs) {
+  PcorOptions options;
+  EXPECT_TRUE(ValidatePcorOptions(options).ok());
+  options.num_samples = 0;
+  EXPECT_TRUE(ValidatePcorOptions(options).IsInvalidArgument());
+  options.num_samples = 8;
+  options.total_epsilon = 0.0;
+  EXPECT_TRUE(ValidatePcorOptions(options).IsInvalidArgument());
+  options.total_epsilon = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ValidatePcorOptions(options).IsInvalidArgument());
+  options.total_epsilon = 0.2;
+  options.max_probes = 0;
+  EXPECT_TRUE(ValidatePcorOptions(options).IsInvalidArgument());
+  options.max_probes = 100;
+  EXPECT_TRUE(ValidatePcorOptions(options).ok());
+  // Release surfaces the same validation as a typed error.
+  Rng rng(1);
+  options.num_samples = 0;
+  EXPECT_TRUE(
+      engine_.Release(grid_.v_row, options, &rng).status().IsInvalidArgument());
 }
 
 TEST_F(PcorBatchTest, AggregatesProbeCapAndLatencyPercentiles) {

@@ -78,6 +78,56 @@ TEST(BudgetAccountantTest, UnlimitedByDefault) {
   }
 }
 
+TEST(BudgetAccountantTest, PerClientCapOverridesTheDefault) {
+  BudgetAccountant accountant(/*per_client_cap=*/1.0);
+  accountant.SetCap("vip", 2.0);
+  accountant.SetCap("restricted", 0.25);
+  EXPECT_DOUBLE_EQ(accountant.CapFor("vip"), 2.0);
+  EXPECT_DOUBLE_EQ(accountant.CapFor("restricted"), 0.25);
+  EXPECT_DOUBLE_EQ(accountant.CapFor("stranger"), 1.0);
+
+  // The vip can spend past the default; the restricted client cannot even
+  // reach it; strangers still get the default.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(accountant.Charge("vip", 0.25).ok()) << "vip charge " << i;
+  }
+  EXPECT_TRUE(accountant.Charge("vip", 0.25).IsPrivacyBudgetExceeded());
+  EXPECT_TRUE(accountant.Charge("restricted", 0.25).ok());
+  EXPECT_TRUE(
+      accountant.Charge("restricted", 0.25).IsPrivacyBudgetExceeded());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(accountant.Charge("stranger", 0.25).ok());
+  }
+  EXPECT_TRUE(accountant.Charge("stranger", 0.25).IsPrivacyBudgetExceeded());
+}
+
+TEST(BudgetAccountantTest, LoweringACapBelowSpendRejectsWithoutClawback) {
+  BudgetAccountant accountant(10.0);
+  EXPECT_TRUE(accountant.Charge("c", 5.0).ok());
+  accountant.SetCap("c", 1.0);
+  EXPECT_DOUBLE_EQ(accountant.SpentBy("c"), 5.0);  // never clawed back
+  EXPECT_TRUE(accountant.Charge("c", 0.1).IsPrivacyBudgetExceeded());
+}
+
+TEST(BudgetAccountantTest, SetCapUpsertsTheLatestValue) {
+  BudgetAccountant accountant(1.0);
+  accountant.SetCap("c", 0.5);
+  accountant.SetCap("c", 3.0);
+  EXPECT_DOUBLE_EQ(accountant.CapFor("c"), 3.0);
+  EXPECT_TRUE(accountant.Charge("c", 2.0).ok());
+}
+
+TEST(BudgetAccountantTest, ClearCapRestoresTheDefault) {
+  BudgetAccountant accountant(1.0);
+  accountant.SetCap("c", 0.25);
+  EXPECT_TRUE(accountant.Charge("c", 0.5).IsPrivacyBudgetExceeded());
+  accountant.ClearCap("c");
+  EXPECT_DOUBLE_EQ(accountant.CapFor("c"), 1.0);
+  EXPECT_TRUE(accountant.Charge("c", 0.5).ok());
+  accountant.ClearCap("stranger");  // no-op, never minted an override
+  EXPECT_DOUBLE_EQ(accountant.CapFor("stranger"), 1.0);
+}
+
 TEST(BudgetAccountantTest, ConcurrentChargesAdmitExactlyTheCap) {
   // 8 threads race 100 charges of 0.01 each against a cap of 0.5: exactly
   // 50 must be admitted, regardless of interleaving.

@@ -151,6 +151,65 @@ TEST_F(ServerStressTest, RejectPolicyReturnsResourceExhaustedWhenFull) {
   server.Shutdown();
 }
 
+TEST_F(ServerStressTest, TenantDepthRejectionRefundsLikeOtherDoorRejections) {
+  // A tenant at its max_queue_depth is a *door* rejection: the request
+  // never touched the data, so its admission charge must be rolled back —
+  // exactly like queue-full and shutdown rejections, and unlike
+  // data-touching failures which keep their charge.
+  std::atomic<bool> gate_open{false};
+  std::atomic<size_t> batches_started{0};
+  ServeOptions options = BaseOptions();
+  options.queue_capacity = 64;  // global capacity is NOT the constraint
+  options.max_batch = 1;
+  options.max_delay_us = 0;
+  options.pre_batch_hook = [&](std::span<const BatchRequest>) {
+    batches_started.fetch_add(1);
+    while (!gate_open.load()) std::this_thread::sleep_for(milliseconds(1));
+  };
+  PcorServer server(engine_, options);
+  TenantConfig bounded;
+  bounded.max_queue_depth = 1;
+  ASSERT_TRUE(server.RegisterTenant("bounded", bounded).ok());
+
+  std::vector<Future<BatchEntry>> futures;
+  // First submission is popped by the dispatcher, which blocks on the gate
+  // — the tenant's queue is empty again.
+  auto first = server.SubmitAsync(OutlierRequest(), "bounded");
+  ASSERT_TRUE(first.ok());
+  futures.push_back(std::move(*first));
+  while (batches_started.load() == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  // The second fills the tenant's depth bound of 1.
+  auto second = server.SubmitAsync(OutlierRequest(), "bounded");
+  ASSERT_TRUE(second.ok());
+  futures.push_back(std::move(*second));
+  const double spent_before = server.accountant().SpentBy("bounded");
+
+  // The third overflows the tenant bound: typed, counted, and refunded.
+  auto rejected = server.SubmitAsync(OutlierRequest(), "bounded");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("bounded"), spent_before);
+  EXPECT_EQ(server.stats().rejected_depth, 1u);
+  EXPECT_EQ(server.stats().rejected_queue, 0u);
+
+  // Other tenants are untouched by the bounded tenant's backlog.
+  auto other = server.SubmitAsync(OutlierRequest(), "unbounded");
+  ASSERT_TRUE(other.ok());
+  futures.push_back(std::move(*other));
+
+  gate_open.store(true);
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.Get().status.ok());
+  }
+  server.Shutdown();
+  // Final ledger (up to the charge/refund round-trip residue): only the
+  // two admitted requests kept their charge.
+  EXPECT_NEAR(server.accountant().SpentBy("bounded"), 2 * 0.2, 1e-12);
+}
+
 TEST_F(ServerStressTest, BlockPolicyNeverRejectsUnderPressure) {
   ServeOptions options = BaseOptions();
   options.queue_capacity = 2;  // tiny buffer, heavy concurrent pressure

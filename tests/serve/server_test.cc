@@ -212,6 +212,225 @@ TEST_F(ServerDeterminismTest, ServedEntriesReplayThroughRelease) {
   }
 }
 
+// Acceptance bar for the QoS scheduler: an adversarial 3-tenant mix with
+// heterogeneous per-request PcorOptions must produce bit-identical
+// per-request results (context/eps/utility/probes) whether the server runs
+// FIFO with 1 release thread and serial submission, or weighted-fair with
+// skewed weights, 16 release threads, racing tenant threads and a flooded
+// queue. Seeds are fixed at admission per (tenant, k); nothing downstream
+// may depend on scheduling.
+TEST_F(ServerDeterminismTest, FifoAndWeightedFairSchedulingAreBitIdentical) {
+  struct TenantPlan {
+    std::string id;
+    TenantConfig config;
+    std::vector<BatchRequest> requests;
+  };
+
+  // Heterogeneous per-request overrides: zeta keeps the server default,
+  // eta flips sampler/epsilon per request, theta pins a cheap uniform
+  // configuration — and every tenant's k==2 request targets row 1, which
+  // never releases, so error determinism is covered too.
+  PcorOptions cheap_uniform;
+  cheap_uniform.sampler = SamplerKind::kUniform;
+  cheap_uniform.num_samples = 4;
+  cheap_uniform.total_epsilon = 0.1;
+  PcorOptions wide_bfs = ReleaseOptions();
+  wide_bfs.num_samples = 12;
+  wide_bfs.total_epsilon = 0.8;
+
+  std::vector<TenantPlan> plans(3);
+  plans[0].id = "zeta";
+  plans[0].config.weight = 10.0;
+  plans[1].id = "eta";
+  plans[1].config.weight = 1.0;
+  plans[2].id = "theta";
+  plans[2].config.weight = 0.5;
+  plans[2].config.epsilon_cap = 100.0;
+  for (size_t t = 0; t < plans.size(); ++t) {
+    for (size_t k = 0; k < 6; ++k) {
+      BatchRequest request;
+      request.v_row = (k == 2) ? 1 : grid_.v_row;
+      if (t == 1) request.options = (k % 2) ? cheap_uniform : wide_bfs;
+      if (t == 2) request.options = cheap_uniform;
+      plans[t].requests.push_back(request);
+    }
+  }
+
+  const auto run = [&](SchedulingPolicy policy, size_t release_threads,
+                       bool raced, ResultMap* out) {
+    ResultMap& results = *out;
+    ServeOptions options;
+    options.release = ReleaseOptions();
+    options.seed = kServerSeed;
+    options.scheduling = policy;
+    options.release_threads = release_threads;
+    options.max_batch = raced ? 6 : 1;
+    options.max_delay_us = raced ? 200 : 0;
+    PcorServer server(engine_, options);
+    for (const TenantPlan& plan : plans) {
+      ASSERT_TRUE(server.RegisterTenant(plan.id, plan.config).ok());
+    }
+    if (!raced) {
+      for (const TenantPlan& plan : plans) {
+        for (size_t k = 0; k < plan.requests.size(); ++k) {
+          auto future = server.SubmitAsync(plan.requests[k], plan.id);
+          ASSERT_TRUE(future.ok()) << future.status().ToString();
+          results[{plan.id, k}] = future->Get();
+        }
+      }
+    } else {
+      // One racing submitter thread per tenant (the per-tenant k order is
+      // part of the contract), each flooding its whole plan before
+      // collecting — queue composition and batch shapes differ run to run.
+      std::mutex results_mu;
+      std::vector<std::thread> threads;
+      for (const TenantPlan& plan : plans) {
+        threads.emplace_back([&, &plan = plan] {
+          std::vector<Future<BatchEntry>> futures;
+          for (const BatchRequest& request : plan.requests) {
+            auto future = server.SubmitAsync(request, plan.id);
+            ASSERT_TRUE(future.ok()) << future.status().ToString();
+            futures.push_back(std::move(*future));
+          }
+          for (size_t k = 0; k < futures.size(); ++k) {
+            BatchEntry entry = futures[k].Get();
+            std::unique_lock<std::mutex> lock(results_mu);
+            results[{plan.id, k}] = std::move(entry);
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+    }
+  };
+
+  ResultMap fifo_serial;
+  ResultMap wfq_serial;
+  ResultMap wfq_raced;
+  run(SchedulingPolicy::kFifo, 1, false, &fifo_serial);
+  run(SchedulingPolicy::kWeightedFair, 1, false, &wfq_serial);
+  run(SchedulingPolicy::kWeightedFair, 16, true, &wfq_raced);
+
+  ASSERT_EQ(fifo_serial.size(), 18u);
+  ASSERT_EQ(wfq_serial.size(), 18u);
+  ASSERT_EQ(wfq_raced.size(), 18u);
+  for (const auto& [key, entry] : fifo_serial) {
+    SCOPED_TRACE(key.first + "/" + std::to_string(key.second));
+    ExpectIdenticalEntry(entry, wfq_serial.at(key));
+    ExpectIdenticalEntry(entry, wfq_raced.at(key));
+  }
+  // The overrides really took effect: eta's odd submissions and all of
+  // theta's spent the cheap 0.1 epsilon, not the server default.
+  EXPECT_DOUBLE_EQ(fifo_serial.at({"eta", 1}).release.epsilon_spent, 0.1);
+  EXPECT_DOUBLE_EQ(fifo_serial.at({"eta", 0}).release.epsilon_spent, 0.8);
+  EXPECT_DOUBLE_EQ(fifo_serial.at({"theta", 0}).release.epsilon_spent, 0.1);
+}
+
+TEST_F(ServerDeterminismTest, InvalidPerRequestOptionsRejectedAtAdmission) {
+  ServeOptions options;
+  options.release = ReleaseOptions();
+  options.seed = kServerSeed;
+  PcorServer server(engine_, options);
+
+  BatchRequest bad;
+  bad.v_row = grid_.v_row;
+  bad.options = ReleaseOptions();
+  bad.options->total_epsilon = 0.0;
+  auto rejected = server.SubmitAsync(bad, "validator");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+  // Nothing was charged and no stream slot was consumed: the next good
+  // submission is the client's k=0 request.
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("validator"), 0.0);
+  EXPECT_EQ(server.stats().rejected_invalid, 1u);
+
+  bad.options->total_epsilon = 0.4;
+  bad.options->num_samples = 0;
+  EXPECT_TRUE(server.SubmitAsync(bad, "validator")
+                  .status()
+                  .IsInvalidArgument());
+  bad.options->num_samples = 4;
+  bad.options->max_probes = 0;
+  EXPECT_TRUE(server.SubmitAsync(bad, "validator")
+                  .status()
+                  .IsInvalidArgument());
+
+  BatchRequest good;
+  good.v_row = grid_.v_row;
+  auto future = server.SubmitAsync(good, "validator");
+  ASSERT_TRUE(future.ok());
+  BatchEntry entry = future->Get();
+  EXPECT_EQ(entry.rng_seed,
+            PcorServer::RequestSeed(kServerSeed, "validator", 0));
+  EXPECT_TRUE(entry.status.ok()) << entry.status.ToString();
+}
+
+TEST_F(ServerDeterminismTest, PerRequestEpsilonChargedAtItsOwnPrice) {
+  ServeOptions options;
+  options.release = ReleaseOptions();  // default 0.4 per release
+  options.seed = kServerSeed;
+  PcorServer server(engine_, options);
+
+  BatchRequest pricey;
+  pricey.v_row = grid_.v_row;
+  pricey.options = ReleaseOptions();
+  pricey.options->total_epsilon = 1.5;
+  auto future = server.SubmitAsync(pricey, "spender");
+  ASSERT_TRUE(future.ok());
+  BatchEntry entry = future->Get();
+  ASSERT_TRUE(entry.status.ok()) << entry.status.ToString();
+  EXPECT_DOUBLE_EQ(entry.release.epsilon_spent, 1.5);
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("spender"), 1.5);
+}
+
+TEST_F(ServerDeterminismTest, TenantEpsilonCapOverridesServerDefault) {
+  ServeOptions options;
+  options.release = ReleaseOptions();  // 0.4 per release
+  options.seed = kServerSeed;
+  options.per_client_epsilon_cap = 10.0;
+  PcorServer server(engine_, options);
+  TenantConfig tight;
+  tight.epsilon_cap = 0.8;  // admits exactly 2 of the 0.4 releases
+  ASSERT_TRUE(server.RegisterTenant("tight", tight).ok());
+
+  BatchRequest request;
+  request.v_row = grid_.v_row;
+  for (size_t k = 0; k < 2; ++k) {
+    auto future = server.SubmitAsync(request, "tight");
+    ASSERT_TRUE(future.ok()) << future.status().ToString();
+    EXPECT_TRUE(future->Get().status.ok());
+  }
+  auto third = server.SubmitAsync(request, "tight");
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsPrivacyBudgetExceeded())
+      << third.status().ToString();
+  // An unregistered tenant still enjoys the server-wide default cap.
+  auto other = server.SubmitAsync(request, "roomy");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->Get().status.ok());
+  // Re-registering with epsilon_cap unset restores inheritance of the
+  // server default — the stale 0.8 override must not linger.
+  TenantConfig uncapped;
+  ASSERT_TRUE(server.RegisterTenant("tight", uncapped).ok());
+  auto fourth = server.SubmitAsync(request, "tight");
+  ASSERT_TRUE(fourth.ok()) << fourth.status().ToString();
+  EXPECT_TRUE(fourth->Get().status.ok());
+}
+
+TEST_F(ServerDeterminismTest, RegisterTenantValidatesConfig) {
+  ServeOptions options;
+  options.release = ReleaseOptions();
+  PcorServer server(engine_, options);
+  TenantConfig bad;
+  bad.weight = 0.0;
+  EXPECT_TRUE(server.RegisterTenant("bad", bad).IsInvalidArgument());
+  bad.weight = 2.0;
+  bad.epsilon_cap = -1.0;
+  EXPECT_TRUE(server.RegisterTenant("bad", bad).IsInvalidArgument());
+  bad.epsilon_cap = 1.0;
+  EXPECT_TRUE(server.RegisterTenant("bad", bad).ok());
+}
+
 TEST_F(ServerDeterminismTest, DistinctClientsDrawDistinctStreams) {
   // Identical request bodies from different clients must not produce
   // identical randomness: the stream family is keyed by client id.

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links.
+
+Usage: check_links.py <file-or-dir> [...]
+
+Scans the given markdown files (directories are walked for *.md) for
+inline links `[text](target)` and verifies every *intra-repo* target:
+
+  * relative file targets must exist (resolved against the linking file);
+  * `#anchor` fragments (own-file or on a linked .md) must match a heading
+    in the target file, using GitHub's slugification;
+  * absolute URLs (http/https/mailto) are skipped — this job gates repo
+    self-consistency, not the internet.
+
+Exits non-zero listing every dead link, so CI fails on doc rot.
+Stdlib only; no third-party dependencies.
+"""
+
+import os
+import re
+import sys
+
+# Target forms: (path), (<path with spaces>), (path "title"), (path 'title').
+LINK_RE = re.compile(
+    r"\[[^\]]*\]\(\s*(?:<([^<>]+)>|([^()\s]+(?:\([^()\s]*\)[^()\s]*)?))"
+    r"(?:\s+(?:\"[^\"]*\"|'[^']*'))?\s*\)"
+)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linkified heading
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    content = CODE_FENCE_RE.sub("", content)  # '# comment' inside fences
+    slugs = set()
+    counts = {}
+    for match in HEADING_RE.finditer(content):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def collect_markdown(args) -> list:
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md")
+                )
+        elif arg.endswith(".md"):
+            files.append(arg)
+        else:
+            print(f"warning: skipping non-markdown argument {arg}")
+    return sorted(set(files))
+
+
+def check_file(md_path: str) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    content = CODE_FENCE_RE.sub("", content)
+    for match in LINK_RE.finditer(content):
+        target = match.group(1) or match.group(2)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part)
+            )
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}: dead link '{target}' "
+                              f"({resolved} does not exist)")
+                continue
+        else:
+            resolved = md_path
+        if fragment:
+            if not resolved.endswith(".md") or not os.path.isfile(resolved):
+                continue  # only anchor-check markdown targets
+            if fragment.lower() not in heading_slugs(resolved):
+                errors.append(f"{md_path}: dead anchor '{target}' "
+                              f"(no heading '#{fragment}' in {resolved})")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files = collect_markdown(argv[1:])
+    if not files:
+        print("error: no markdown files found in the given paths")
+        return 2
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} markdown files: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} dead links)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
