@@ -1,0 +1,259 @@
+// Million-row hot-path benchmark: a 1M-row x 160-value salary dataset
+// probed with ~1000 contexts through the compressed population index, with
+// three machine-readable BENCH_JSON lines and two enforced bars:
+//
+//   - compressed-index working set must be <= 50% of the dense index on
+//     this sparse-context workload (deterministic; always enforced);
+//   - enforced probes/sec floor on the PopulationCount hot path,
+//     relaxable with PCOR_RELAX_MILLION=1 for noisy/smoke environments.
+//
+// Before timing anything, every context's population count is
+// cross-checked dense-vs-compressed — a mismatch is an immediate non-zero
+// exit, so the throughput number can never come from a wrong kernel.
+//
+// Scaling knobs (CI smoke-runs at a fraction of the defaults):
+//   PCOR_MILLION_ROWS      dataset rows          (default 1,000,000)
+//   PCOR_MILLION_CONTEXTS  probe contexts        (default 1,000)
+//   PCOR_RELAX_MILLION     1 = warn instead of fail on the probes/sec bar
+//   PCOR_THREADS           probe threads         (default: all cores)
+//   PCOR_SEED              dataset + context seed
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/common/random.h"
+#include "src/common/simd.h"
+#include "src/common/string_util.h"
+#include "src/common/threading.h"
+#include "src/context/detector_cache.h"
+#include "src/context/population_index.h"
+#include "src/data/salary_generator.h"
+#include "src/outlier/detector.h"
+
+using namespace pcor;
+using namespace pcor::bench;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ContextVec RandomContext(const Schema& schema, double density, Rng* rng) {
+  ContextVec c(schema.total_values());
+  for (size_t bit = 0; bit < c.num_bits(); ++bit) {
+    if (rng->NextBernoulli(density)) c.Set(bit);
+  }
+  return c;
+}
+
+ContextVec RandomSingletonContext(const Schema& schema, Rng* rng) {
+  ContextVec c(schema.total_values());
+  size_t base = 0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const size_t domain = schema.attribute(a).domain_size();
+    c.Set(base + rng->NextBounded(domain));
+    base += domain;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const size_t rows = strings::EnvSizeOr("PCOR_MILLION_ROWS", 1'000'000);
+  const size_t num_contexts =
+      strings::EnvSizeOr("PCOR_MILLION_CONTEXTS", 1'000);
+  const bool relax = strings::EnvSizeOr("PCOR_RELAX_MILLION", 0) != 0;
+  const size_t threads =
+      strings::EnvSizeOr("PCOR_THREADS", DefaultThreadCount());
+  const uint64_t seed = strings::EnvSizeOr("PCOR_SEED", 2021);
+  // The floor assumes at least the CI runner class of hardware; it is the
+  // regression tripwire, not a marketing number. PCOR_RELAX_MILLION turns
+  // a miss into a warning for smoke runs and saturated machines.
+  const double floor_probes_per_s =
+      strings::EnvDoubleOr("PCOR_MILLION_FLOOR", 300.0);
+
+  std::printf(
+      "million-row hot path: %zu rows, %zu contexts, %zu threads, "
+      "backend=%s\n",
+      rows, num_contexts, threads, simd::ActiveBackendName());
+
+  // High-cardinality domains (64/48/48) keep every value bitmap at
+  // ~1/48..1/64 density — the sparse regime the compressed index exists
+  // for (array containers, ~2 bytes per set bit).
+  SalaryDatasetSpec spec;
+  spec.num_rows = rows;
+  spec.num_jobs = 64;
+  spec.num_employers = 48;
+  spec.num_years = 48;
+  spec.num_planted = rows / 500;
+  spec.seed = seed;
+  double t0 = Now();
+  auto generated = GenerateSalaryDataset(spec);
+  if (!generated.ok()) {
+    std::printf("dataset: %s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& dataset = generated->dataset;
+  std::printf("dataset generated in %.2fs (t=%zu attribute values)\n",
+              Now() - t0, dataset.schema().total_values());
+
+  t0 = Now();
+  const PopulationIndex compressed(dataset, IndexStorage::kCompressed);
+  const double compressed_build_s = Now() - t0;
+  t0 = Now();
+  const PopulationIndex dense(dataset, IndexStorage::kDense);
+  const double dense_build_s = Now() - t0;
+  const PopulationIndexStats compressed_stats = compressed.MemoryStats();
+  const PopulationIndexStats dense_stats = dense.MemoryStats();
+  const double ratio = static_cast<double>(compressed_stats.bitmap_bytes) /
+                       static_cast<double>(dense_stats.bitmap_bytes);
+  std::printf(
+      "index build: compressed %.2fs (%.1f MiB), dense %.2fs (%.1f MiB), "
+      "ratio %.3f (chunks: %zu empty / %zu array / %zu dense)\n",
+      compressed_build_s, compressed_stats.bitmap_bytes / 1048576.0,
+      dense_build_s, dense_stats.bitmap_bytes / 1048576.0, ratio,
+      compressed_stats.empty_chunks, compressed_stats.array_chunks,
+      compressed_stats.dense_chunks);
+
+  // The probe mix: half all-singleton exact contexts (the search frontier
+  // shape, taking the compressed container-fold fast path) and half random
+  // multi-value contexts (the union+intersect general path).
+  Rng rng(seed + 1);
+  std::vector<ContextVec> contexts;
+  contexts.reserve(num_contexts);
+  for (size_t i = 0; i < num_contexts; ++i) {
+    if (i % 2 == 0) {
+      contexts.push_back(RandomSingletonContext(dataset.schema(), &rng));
+    } else {
+      contexts.push_back(
+          RandomContext(dataset.schema(), i % 4 == 1 ? 0.5 : 0.25, &rng));
+    }
+  }
+
+  // Exact equivalence gate: every probe, both storages, identical counts
+  // and overlaps. This is the bench's precondition, not a statistic.
+  size_t mismatches = 0;
+  for (const ContextVec& c : contexts) {
+    if (dense.PopulationCount(c) != compressed.PopulationCount(c)) {
+      ++mismatches;
+      std::printf("EQUIVALENCE MISMATCH count: %s\n", c.ToBitString().c_str());
+    }
+  }
+  for (size_t i = 0; i + 1 < contexts.size() && i < 100; i += 2) {
+    if (dense.OverlapCount(contexts[i], contexts[i + 1]) !=
+        compressed.OverlapCount(contexts[i], contexts[i + 1])) {
+      ++mismatches;
+      std::printf("EQUIVALENCE MISMATCH overlap at pair %zu\n", i);
+    }
+  }
+  if (mismatches != 0) {
+    std::printf("FAILED: %zu dense/compressed mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf("equivalence: %zu counts + overlaps identical across storages\n",
+              contexts.size());
+
+  // Timed hot path: PopulationCount over the context set, fanned across a
+  // (NUMA-aware when PCOR_PIN_THREADS=1) thread pool, repeated until the
+  // run is long enough to time.
+  size_t passes = 1;
+  double elapsed = 0.0;
+  while (true) {
+    t0 = Now();
+    for (size_t pass = 0; pass < passes; ++pass) {
+      ParallelFor(contexts.size(), threads, [&](size_t i) {
+        volatile size_t sink = compressed.PopulationCount(contexts[i]);
+        (void)sink;
+      });
+    }
+    elapsed = Now() - t0;
+    if (elapsed >= 0.5 || passes >= 64) break;
+    passes *= 2;
+  }
+  const double probes = static_cast<double>(passes * contexts.size());
+  const double probes_per_s = probes / elapsed;
+  std::printf("hot path: %.0f probes in %.2fs = %.0f probes/s\n", probes,
+              elapsed, probes_per_s);
+
+  // Verifier-cache hit rate over a double-probed prefix of the context
+  // set: second probes must be memo hits.
+  const OutlierDetector* detector = nullptr;
+  auto zscore = MakeDetector("zscore");
+  if (!zscore.ok()) {
+    std::printf("detector: %s\n", zscore.status().ToString().c_str());
+    return 1;
+  }
+  detector = zscore->get();
+  VerifierOptions verifier_options;
+  verifier_options.numa_aware = true;
+  verifier_options.adaptive_budget = true;
+  OutlierVerifier verifier(compressed, *detector, verifier_options);
+  const size_t cache_probes = std::min<size_t>(contexts.size(), 200);
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < cache_probes; ++i) {
+      verifier.OutliersInContext(contexts[i]);
+    }
+  }
+  const VerifierStats cache_stats = verifier.Stats();
+  const double hit_rate =
+      cache_stats.cache_hits + cache_stats.cache_misses == 0
+          ? 0.0
+          : static_cast<double>(cache_stats.cache_hits) /
+                static_cast<double>(cache_stats.cache_hits +
+                                    cache_stats.cache_misses);
+  std::printf("verifier cache: %zu hits / %zu misses (hit rate %.3f)\n",
+              cache_stats.cache_hits, cache_stats.cache_misses, hit_rate);
+
+  BenchJsonEmitter emitter;
+  emitter.Emit(strings::Format(
+      "{\"bench\":\"million_rows\",\"rows\":%zu,\"contexts\":%zu,"
+      "\"threads\":%zu,\"probes\":%.0f,\"wall_s\":%.4f,"
+      "\"probes_per_s\":%.1f,\"floor_probes_per_s\":%.1f,"
+      "\"enforced\":%s,\"kernel_backend\":\"%s\",\"storage\":\"%s\"}",
+      rows, num_contexts, threads, probes, elapsed, probes_per_s,
+      floor_probes_per_s, relax ? "false" : "true",
+      simd::ActiveBackendName(),
+      compressed.storage() == IndexStorage::kCompressed ? "compressed"
+                                                        : "dense"));
+  emitter.Emit(strings::Format(
+      "{\"bench\":\"million_rows_memory\",\"rows\":%zu,"
+      "\"dense_bytes\":%zu,\"compressed_bytes\":%zu,"
+      "\"compressed_ratio\":%.4f,\"empty_chunks\":%zu,"
+      "\"array_chunks\":%zu,\"dense_chunks\":%zu,"
+      "\"compressed_build_s\":%.3f,\"dense_build_s\":%.3f}",
+      rows, dense_stats.bitmap_bytes, compressed_stats.bitmap_bytes, ratio,
+      compressed_stats.empty_chunks, compressed_stats.array_chunks,
+      compressed_stats.dense_chunks, compressed_build_s, dense_build_s));
+  emitter.Emit(strings::Format(
+      "{\"bench\":\"million_rows_cache\",\"probes\":%zu,\"hits\":%zu,"
+      "\"misses\":%zu,\"hit_rate\":%.4f}",
+      2 * cache_probes, cache_stats.cache_hits, cache_stats.cache_misses,
+      hit_rate));
+
+  bool failed = !emitter.ok();
+  // Memory bar: deterministic, never relaxed. The whole point of the
+  // compressed index is cutting the sparse working set at least in half.
+  if (ratio > 0.5) {
+    std::printf("FAILED: compressed/dense memory ratio %.3f > 0.50\n", ratio);
+    failed = true;
+  }
+  if (probes_per_s < floor_probes_per_s) {
+    if (relax) {
+      std::printf(
+          "WARNING: probes/s %.0f below floor %.0f "
+          "(relaxed by PCOR_RELAX_MILLION)\n",
+          probes_per_s, floor_probes_per_s);
+    } else {
+      std::printf("FAILED: probes/s %.0f below floor %.0f\n", probes_per_s,
+                  floor_probes_per_s);
+      failed = true;
+    }
+  }
+  std::printf("%s\n", failed ? "RESULT: FAIL" : "RESULT: OK");
+  return failed ? 1 : 0;
+}

@@ -72,6 +72,11 @@ class BitVector {
 
   const uint64_t* data() const { return words_.data(); }
 
+  /// \brief Mutable word access for the compressed-bitmap kernels, which
+  /// operate on whole 64Ki-bit chunks of the word array in place. Callers
+  /// must not set bits at or above size().
+  uint64_t* mutable_data() { return words_.data(); }
+
  private:
   void ZeroTailBits();
 

@@ -1,0 +1,338 @@
+#include "src/common/compressed_bitmap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace pcor {
+namespace {
+
+size_t PopcountWords(const uint64_t* words, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(words[i]));
+  }
+  return count;
+}
+
+// Intersects two sorted offset arrays into `out` (which may alias neither
+// input). Uses a linear merge when the sizes are comparable and switches to
+// galloping (exponential probe + binary search of the smaller array into the
+// larger) when one side is much smaller — the classic roaring heuristic.
+void IntersectArrays(const std::vector<uint16_t>& a,
+                     const std::vector<uint16_t>& b,
+                     std::vector<uint16_t>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  const std::vector<uint16_t>* small = &a;
+  const std::vector<uint16_t>* large = &b;
+  if (small->size() > large->size()) std::swap(small, large);
+  if (large->size() / 32 > small->size()) {
+    // Galloping: advance a moving lower bound through the large array.
+    auto it = large->begin();
+    for (uint16_t v : *small) {
+      it = std::lower_bound(it, large->end(), v);
+      if (it == large->end()) break;
+      if (*it == v) out->push_back(v);
+    }
+    return;
+  }
+  // Linear merge.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+size_t IntersectArraysCount(const std::vector<uint16_t>& a,
+                            const std::vector<uint16_t>& b) {
+  if (a.empty() || b.empty()) return 0;
+  const std::vector<uint16_t>* small = &a;
+  const std::vector<uint16_t>* large = &b;
+  if (small->size() > large->size()) std::swap(small, large);
+  size_t count = 0;
+  if (large->size() / 32 > small->size()) {
+    auto it = large->begin();
+    for (uint16_t v : *small) {
+      it = std::lower_bound(it, large->end(), v);
+      if (it == large->end()) break;
+      if (*it == v) ++count;
+    }
+    return count;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool WordTest(const uint64_t* words, uint16_t offset) {
+  return (words[offset >> 6] >> (offset & 63)) & 1u;
+}
+
+size_t IntersectArrayDenseCount(const std::vector<uint16_t>& array,
+                                const uint64_t* words) {
+  size_t count = 0;
+  for (uint16_t v : array) count += WordTest(words, v) ? 1 : 0;
+  return count;
+}
+
+}  // namespace
+
+size_t CompressedBitmap::ChunkWordCount(size_t chunk_index) const {
+  const size_t total_words = (size_ + 63) / 64;
+  const size_t first_word = chunk_index * kChunkWords;
+  return std::min(kChunkWords, total_words - first_word);
+}
+
+CompressedBitmap CompressedBitmap::FromBitVector(const BitVector& bits) {
+  CompressedBitmap out;
+  out.size_ = bits.size();
+  const size_t num_chunks = (bits.size() + kChunkBits - 1) / kChunkBits;
+  out.chunks_.resize(num_chunks);
+  const uint64_t* words = bits.data();
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const uint64_t* chunk_words = words + c * kChunkWords;
+    const size_t chunk_word_count = out.ChunkWordCount(c);
+    const size_t card = PopcountWords(chunk_words, chunk_word_count);
+    Chunk& chunk = out.chunks_[c];
+    if (card == 0) {
+      chunk.kind = Chunk::Kind::kEmpty;
+    } else if (card <= kArrayMax) {
+      chunk.kind = Chunk::Kind::kArray;
+      chunk.array.reserve(card);
+      for (size_t w = 0; w < chunk_word_count; ++w) {
+        uint64_t word = chunk_words[w];
+        while (word) {
+          const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+          chunk.array.push_back(static_cast<uint16_t>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+    } else {
+      chunk.kind = Chunk::Kind::kDense;
+      chunk.words.assign(chunk_words, chunk_words + chunk_word_count);
+    }
+    out.count_ += card;
+  }
+  return out;
+}
+
+BitVector CompressedBitmap::ToBitVector() const {
+  BitVector out(size_, false);
+  OrIntoDense(&out);
+  return out;
+}
+
+size_t CompressedBitmap::MemoryBytes() const {
+  size_t bytes = chunks_.capacity() * sizeof(Chunk);
+  for (const Chunk& chunk : chunks_) {
+    bytes += chunk.array.capacity() * sizeof(uint16_t);
+    bytes += chunk.words.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+void CompressedBitmap::OrIntoDense(BitVector* out) const {
+  PCOR_CHECK(out->size() == size_) << "OrIntoDense size mismatch";
+  uint64_t* words = out->mutable_data();
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const Chunk& chunk = chunks_[c];
+    uint64_t* chunk_words = words + c * kChunkWords;
+    switch (chunk.kind) {
+      case Chunk::Kind::kEmpty:
+        break;
+      case Chunk::Kind::kArray:
+        for (uint16_t v : chunk.array) {
+          chunk_words[v >> 6] |= uint64_t{1} << (v & 63);
+        }
+        break;
+      case Chunk::Kind::kDense: {
+        const size_t n = chunk.words.size();
+        for (size_t w = 0; w < n; ++w) chunk_words[w] |= chunk.words[w];
+        break;
+      }
+    }
+  }
+}
+
+void CompressedBitmap::AndIntoDense(BitVector* inout) const {
+  PCOR_CHECK(inout->size() == size_) << "AndIntoDense size mismatch";
+  uint64_t* words = inout->mutable_data();
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const Chunk& chunk = chunks_[c];
+    uint64_t* chunk_words = words + c * kChunkWords;
+    const size_t chunk_word_count = ChunkWordCount(c);
+    switch (chunk.kind) {
+      case Chunk::Kind::kEmpty:
+        std::memset(chunk_words, 0, chunk_word_count * sizeof(uint64_t));
+        break;
+      case Chunk::Kind::kArray: {
+        // Probe each offset against the (pre-AND) dense words, collect the
+        // survivors, then rebuild the chunk from them. The survivor buffer
+        // is bounded by kArrayMax, so it lives on the stack.
+        uint16_t kept[kArrayMax];
+        size_t num_kept = 0;
+        for (uint16_t v : chunk.array) {
+          if (WordTest(chunk_words, v)) kept[num_kept++] = v;
+        }
+        std::memset(chunk_words, 0, chunk_word_count * sizeof(uint64_t));
+        for (size_t i = 0; i < num_kept; ++i) {
+          chunk_words[kept[i] >> 6] |= uint64_t{1} << (kept[i] & 63);
+        }
+        break;
+      }
+      case Chunk::Kind::kDense: {
+        const size_t n = chunk.words.size();
+        for (size_t w = 0; w < n; ++w) chunk_words[w] &= chunk.words[w];
+        break;
+      }
+    }
+  }
+}
+
+size_t CompressedBitmap::AndCountWith(const CompressedBitmap& other) const {
+  PCOR_CHECK(size_ == other.size_) << "AndCountWith size mismatch";
+  size_t count = 0;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const Chunk& a = chunks_[c];
+    const Chunk& b = other.chunks_[c];
+    if (a.kind == Chunk::Kind::kEmpty || b.kind == Chunk::Kind::kEmpty) {
+      continue;
+    }
+    if (a.kind == Chunk::Kind::kArray && b.kind == Chunk::Kind::kArray) {
+      count += IntersectArraysCount(a.array, b.array);
+    } else if (a.kind == Chunk::Kind::kArray) {
+      count += IntersectArrayDenseCount(a.array, b.words.data());
+    } else if (b.kind == Chunk::Kind::kArray) {
+      count += IntersectArrayDenseCount(b.array, a.words.data());
+    } else {
+      const size_t n = a.words.size();
+      for (size_t w = 0; w < n; ++w) {
+        count += static_cast<size_t>(
+            __builtin_popcountll(a.words[w] & b.words[w]));
+      }
+    }
+  }
+  return count;
+}
+
+size_t CompressedBitmap::AndCountDense(const BitVector& other) const {
+  PCOR_CHECK(size_ == other.size()) << "AndCountDense size mismatch";
+  const uint64_t* words = other.data();
+  size_t count = 0;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const Chunk& chunk = chunks_[c];
+    const uint64_t* chunk_words = words + c * kChunkWords;
+    switch (chunk.kind) {
+      case Chunk::Kind::kEmpty:
+        break;
+      case Chunk::Kind::kArray:
+        count += IntersectArrayDenseCount(chunk.array, chunk_words);
+        break;
+      case Chunk::Kind::kDense: {
+        const size_t n = chunk.words.size();
+        for (size_t w = 0; w < n; ++w) {
+          count += static_cast<size_t>(
+              __builtin_popcountll(chunk.words[w] & chunk_words[w]));
+        }
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+void CompressedBitmap::IntersectInto(const CompressedBitmap& a,
+                                     const CompressedBitmap& b,
+                                     CompressedBitmap* out) {
+  PCOR_CHECK(a.size_ == b.size_) << "IntersectInto size mismatch";
+  PCOR_CHECK(out != &a && out != &b)
+      << "IntersectInto must not alias an input";
+  out->size_ = a.size_;
+  out->count_ = 0;
+  out->chunks_.resize(a.chunks_.size());
+  for (size_t c = 0; c < a.chunks_.size(); ++c) {
+    const Chunk& ca = a.chunks_[c];
+    const Chunk& cb = b.chunks_[c];
+    Chunk& co = out->chunks_[c];
+    if (ca.kind == Chunk::Kind::kEmpty || cb.kind == Chunk::Kind::kEmpty) {
+      co.MakeEmpty();
+      continue;
+    }
+    if (ca.kind == Chunk::Kind::kArray && cb.kind == Chunk::Kind::kArray) {
+      co.words.clear();
+      IntersectArrays(ca.array, cb.array, &co.array);
+      co.kind = co.array.empty() ? Chunk::Kind::kEmpty : Chunk::Kind::kArray;
+      out->count_ += co.array.size();
+    } else if (ca.kind == Chunk::Kind::kArray ||
+               cb.kind == Chunk::Kind::kArray) {
+      const std::vector<uint16_t>& array =
+          ca.kind == Chunk::Kind::kArray ? ca.array : cb.array;
+      const uint64_t* words =
+          ca.kind == Chunk::Kind::kArray ? cb.words.data() : ca.words.data();
+      co.words.clear();
+      co.array.clear();
+      for (uint16_t v : array) {
+        if (WordTest(words, v)) co.array.push_back(v);
+      }
+      co.kind = co.array.empty() ? Chunk::Kind::kEmpty : Chunk::Kind::kArray;
+      out->count_ += co.array.size();
+    } else {
+      co.array.clear();
+      const size_t n = ca.words.size();
+      co.words.resize(n);
+      size_t card = 0;
+      for (size_t w = 0; w < n; ++w) {
+        co.words[w] = ca.words[w] & cb.words[w];
+        card += static_cast<size_t>(__builtin_popcountll(co.words[w]));
+      }
+      if (card == 0) {
+        co.MakeEmpty();
+      } else {
+        co.kind = Chunk::Kind::kDense;
+      }
+      out->count_ += card;
+    }
+  }
+}
+
+CompressedBitmap::Census CompressedBitmap::ChunkCensus() const {
+  Census census;
+  for (const Chunk& chunk : chunks_) {
+    switch (chunk.kind) {
+      case Chunk::Kind::kEmpty:
+        ++census.empty_chunks;
+        break;
+      case Chunk::Kind::kArray:
+        ++census.array_chunks;
+        break;
+      case Chunk::Kind::kDense:
+        ++census.dense_chunks;
+        break;
+    }
+  }
+  return census;
+}
+
+}  // namespace pcor

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitvector.h"
+
+namespace pcor {
+
+/// \brief Roaring-style compressed bitmap over row ids.
+///
+/// The row space is split into 64Ki-row chunks; each chunk is stored as the
+/// cheapest of three containers:
+///   - empty: no set bits, no storage;
+///   - array: at most kArrayMax sorted 16-bit in-chunk offsets (sparse);
+///   - dense: the chunk's raw 64-bit words (the break-even point — an array
+///     of kArrayMax offsets costs exactly as much as a full dense chunk).
+///
+/// This is the PopulationIndex's storage format for per-(attribute, value)
+/// bitmaps at million-row scale: value bitmaps are sparse (density 1/|A|
+/// per attribute), so the working set shrinks by the chunk density rather
+/// than staying at n/8 bytes per value. Every operation is defined to be
+/// *bit-identical* to the equivalent dense BitVector computation — the
+/// compressed index is a representation change, never an approximation —
+/// and the container-pair kernels (array∩array galloping, array∩dense
+/// probe, dense∩dense words) are what keep the probe hot path fast.
+///
+/// Immutable after construction; safe to share across threads.
+class CompressedBitmap {
+ public:
+  /// Rows per chunk (64Ki) and words per full chunk.
+  static constexpr size_t kChunkBits = size_t{1} << 16;
+  static constexpr size_t kChunkWords = kChunkBits / 64;
+  /// Largest cardinality stored as a sorted offset array. At 4096 offsets
+  /// the array (2 bytes each) costs exactly one dense chunk (8 KiB).
+  static constexpr size_t kArrayMax = 4096;
+
+  CompressedBitmap() = default;
+
+  /// \brief Compresses a dense bitmap, chunk by chunk.
+  static CompressedBitmap FromBitVector(const BitVector& bits);
+
+  /// \brief Decompresses back to a dense bitmap (round-trip exact).
+  BitVector ToBitVector() const;
+
+  size_t size() const { return size_; }
+  /// \brief Number of set bits (cached at construction).
+  size_t count() const { return count_; }
+
+  /// \brief Bytes of the compressed working set: container heap storage
+  /// plus the fixed per-chunk bookkeeping structs. Savings only appear
+  /// when chunk cardinality sits well below kArrayMax — an array of
+  /// kArrayMax offsets costs exactly one dense chunk.
+  size_t MemoryBytes() const;
+
+  /// \brief out |= this. `out` must already have size() bits.
+  void OrIntoDense(BitVector* out) const;
+
+  /// \brief inout &= this — the array∩dense probe path when this bitmap is
+  /// sparse. `inout` must have size() bits.
+  void AndIntoDense(BitVector* inout) const;
+
+  /// \brief |this ∩ other| without materializing, via the container-pair
+  /// kernels. Sizes must match.
+  size_t AndCountWith(const CompressedBitmap& other) const;
+
+  /// \brief |this ∩ dense| without materializing.
+  size_t AndCountDense(const BitVector& other) const;
+
+  /// \brief out = a ∩ b, reusing out's container storage (allocation-free
+  /// in steady state). Intersections of dense chunks stay dense even when
+  /// the result is sparse — a representation (not correctness) choice that
+  /// keeps the kernel single-pass.
+  static void IntersectInto(const CompressedBitmap& a,
+                            const CompressedBitmap& b, CompressedBitmap* out);
+
+  /// \brief Container census for benchmarks and the equivalence tests.
+  struct Census {
+    size_t empty_chunks = 0;
+    size_t array_chunks = 0;
+    size_t dense_chunks = 0;
+  };
+  Census ChunkCensus() const;
+
+ private:
+  struct Chunk {
+    enum class Kind : uint8_t { kEmpty, kArray, kDense };
+    Kind kind = Kind::kEmpty;
+    std::vector<uint16_t> array;  ///< sorted in-chunk offsets (kArray)
+    std::vector<uint64_t> words;  ///< raw chunk words (kDense)
+
+    void MakeEmpty() {
+      kind = Kind::kEmpty;
+      array.clear();
+      words.clear();
+    }
+  };
+
+  /// \brief Words the chunk at `chunk_index` spans in a dense bitmap.
+  size_t ChunkWordCount(size_t chunk_index) const;
+
+  size_t size_ = 0;
+  size_t count_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace pcor

@@ -520,12 +520,240 @@ __attribute__((target("avx2"))) double ReachSumAvx2(
   return CombineLanes(lane);
 }
 
+// ---------------------------------------------------------------------------
+// AVX-512F backend. Reductions do 512-bit loads but keep the canonical
+// 4-lane accumulator: the low and high 256-bit halves of each load are
+// added into one __m256d in order, which is exactly the lane-canonical
+// sequence (elements i..i+3 then i+4..i+7). Eight independent lanes or FMA
+// would change the rounding order and break bit parity with the other
+// backends, so they are deliberately not used. The order-insensitive
+// kernels (min/max, argmax with exact compares, threshold scans and counts
+// via __mmask8) are genuinely 8-wide — that is where the tier wins.
+// ---------------------------------------------------------------------------
+
+// GCC's unmasked AVX-512 intrinsics pass _mm512_undefined_pd() as the
+// merge operand, which trips -Wmaybe-uninitialized once inlined into user
+// code (GCC PR105593). The value is architecturally ignored under an
+// all-ones mask; silence the false positive for this backend only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f"))) inline __m512d Abs512(__m512d v) {
+  return _mm512_abs_pd(v);
+}
+
+// acc += lo(x) ; acc += hi(x) — the parity-preserving 8-element step.
+__attribute__((target("avx512f"))) inline __m256d AccumHalves512(
+    __m256d acc, __m512d x) {
+  acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(x));
+  return _mm256_add_pd(acc, _mm512_extractf64x4_pd(x, 1));
+}
+
+__attribute__((target("avx512f"))) double SumAvx512(
+    std::span<const double> v) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i < n8; i += 8) {
+    acc = AccumHalves512(acc, _mm512_loadu_pd(v.data() + i));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (size_t i = n8; i < n; ++i) lane[i & 3] += v[i];
+  return CombineLanes(lane);
+}
+
+__attribute__((target("avx512f"))) double SumSqDevAvx512(
+    std::span<const double> v, double center) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d c = _mm512_set1_pd(center);
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d d = _mm512_sub_pd(_mm512_loadu_pd(v.data() + i), c);
+    acc = AccumHalves512(acc, _mm512_mul_pd(d, d));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (size_t i = n8; i < n; ++i) {
+    const double d = v[i] - center;
+    lane[i & 3] += d * d;
+  }
+  return CombineLanes(lane);
+}
+
+__attribute__((target("avx512f"))) MinMax MinMaxAvx512(
+    std::span<const double> v) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  __m512d vmin = _mm512_set1_pd(v[0]);
+  __m512d vmax = vmin;
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d x = _mm512_loadu_pd(v.data() + i);
+    vmin = _mm512_min_pd(vmin, x);
+    vmax = _mm512_max_pd(vmax, x);
+  }
+  alignas(64) double mn[8], mx[8];
+  _mm512_store_pd(mn, vmin);
+  _mm512_store_pd(mx, vmax);
+  MinMax mm{mn[0], mx[0]};
+  for (int lane = 1; lane < 8; ++lane) {
+    mm.min = std::min(mm.min, mn[lane]);
+    mm.max = std::max(mm.max, mx[lane]);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    mm.min = std::min(mm.min, v[i]);
+    mm.max = std::max(mm.max, v[i]);
+  }
+  return mm;
+}
+
+__attribute__((target("avx512f"))) ArgAbsDev ArgMaxAbsDevAvx512(
+    std::span<const double> v, double center) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d c = _mm512_set1_pd(center);
+  __m512d best = _mm512_set1_pd(-1.0);
+  __m512d best_idx = _mm512_setzero_pd();
+  __m512d idx = _mm512_set_pd(7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0);
+  const __m512d step = _mm512_set1_pd(8.0);
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d dev =
+        Abs512(_mm512_sub_pd(_mm512_loadu_pd(v.data() + i), c));
+    const __mmask8 gt = _mm512_cmp_pd_mask(dev, best, _CMP_GT_OQ);
+    best = _mm512_mask_blend_pd(gt, best, dev);
+    best_idx = _mm512_mask_blend_pd(gt, best_idx, idx);
+    idx = _mm512_add_pd(idx, step);
+  }
+  alignas(64) double dev_lane[8], idx_lane[8];
+  _mm512_store_pd(dev_lane, best);
+  _mm512_store_pd(idx_lane, best_idx);
+  ArgAbsDev out{0, -1.0};
+  for (int lane = 0; lane < 8; ++lane) {
+    const size_t lane_index = static_cast<size_t>(idx_lane[lane]);
+    if (dev_lane[lane] > out.abs_dev ||
+        (dev_lane[lane] == out.abs_dev && lane_index < out.index)) {
+      out.abs_dev = dev_lane[lane];
+      out.index = lane_index;
+    }
+  }
+  for (size_t i = n8; i < n; ++i) {
+    const double dev = std::abs(v[i] - center);
+    if (dev > out.abs_dev) {
+      out.abs_dev = dev;
+      out.index = i;
+    }
+  }
+  return out;
+}
+
+__attribute__((target("avx512f"))) void ScanAbsZAvx512(
+    std::span<const double> v, double mean, double sd, double t,
+    std::vector<size_t>* out) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d m = _mm512_set1_pd(mean);
+  const __m512d s = _mm512_set1_pd(sd);
+  const __m512d thr = _mm512_set1_pd(t);
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d z = _mm512_div_pd(
+        Abs512(_mm512_sub_pd(_mm512_loadu_pd(v.data() + i), m)), s);
+    EmitMaskBits(static_cast<int>(_mm512_cmp_pd_mask(z, thr, _CMP_GT_OQ)), i,
+                 out);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    if (std::abs(v[i] - mean) / sd > t) out->push_back(i);
+  }
+}
+
+__attribute__((target("avx512f"))) void ScanOutsideAvx512(
+    std::span<const double> v, double lo, double hi,
+    std::vector<size_t>* out) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vhi = _mm512_set1_pd(hi);
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d x = _mm512_loadu_pd(v.data() + i);
+    const __mmask8 outside =
+        _mm512_cmp_pd_mask(x, vlo, _CMP_LT_OQ) |
+        _mm512_cmp_pd_mask(x, vhi, _CMP_GT_OQ);
+    EmitMaskBits(static_cast<int>(outside), i, out);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    if (v[i] < lo || v[i] > hi) out->push_back(i);
+  }
+}
+
+__attribute__((target("avx512f"))) void ScanAboveAvx512(
+    std::span<const double> v, double t, std::vector<size_t>* out) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d thr = _mm512_set1_pd(t);
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d x = _mm512_loadu_pd(v.data() + i);
+    EmitMaskBits(static_cast<int>(_mm512_cmp_pd_mask(x, thr, _CMP_GT_OQ)), i,
+                 out);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    if (v[i] > t) out->push_back(i);
+  }
+}
+
+__attribute__((target("avx512f"))) size_t CountOutsideAvx512(
+    std::span<const double> v, double lo, double hi) {
+  const size_t n = v.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vhi = _mm512_set1_pd(hi);
+  size_t count = 0;
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d x = _mm512_loadu_pd(v.data() + i);
+    const __mmask8 outside =
+        _mm512_cmp_pd_mask(x, vlo, _CMP_LT_OQ) |
+        _mm512_cmp_pd_mask(x, vhi, _CMP_GT_OQ);
+    count += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(outside)));
+  }
+  for (size_t i = n8; i < n; ++i) {
+    count += static_cast<size_t>(v[i] < lo) + static_cast<size_t>(v[i] > hi);
+  }
+  return count;
+}
+
+__attribute__((target("avx512f"))) double ReachSumAvx512(
+    std::span<const double> x, std::span<const double> kdist, double xi) {
+  const size_t n = x.size();
+  const size_t n8 = n & ~size_t{7};
+  const __m512d vxi = _mm512_set1_pd(xi);
+  __m256d acc = _mm256_setzero_pd();
+  for (size_t j = 0; j < n8; j += 8) {
+    const __m512d d =
+        Abs512(_mm512_sub_pd(vxi, _mm512_loadu_pd(x.data() + j)));
+    acc = AccumHalves512(
+        acc, _mm512_max_pd(_mm512_loadu_pd(kdist.data() + j), d));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (size_t j = n8; j < n; ++j) {
+    lane[j & 3] += std::max(kdist[j], std::abs(xi - x[j]));
+  }
+  return CombineLanes(lane);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 #endif  // PCOR_SIMD_X86
 
 }  // namespace
 
 Backend BestSupportedBackend() {
 #if PCOR_SIMD_X86
+  if (__builtin_cpu_supports("avx512f")) return Backend::kAvx512;
   if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
   return Backend::kSse2;  // SSE2 is the x86-64 baseline.
 #else
@@ -533,13 +761,33 @@ Backend BestSupportedBackend() {
 #endif
 }
 
+std::optional<Backend> ParseBackendName(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "sse2") return Backend::kSse2;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  return std::nullopt;
+}
+
+std::optional<Backend> ForcedBackendFromEnv() {
+  const std::string forced = strings::EnvStringOr("PCOR_FORCE_SIMD", "");
+  if (!forced.empty()) return ParseBackendName(forced);
+  // Legacy alias: any nonzero PCOR_FORCE_SCALAR pins the scalar path.
+  if (strings::EnvSizeOr("PCOR_FORCE_SCALAR", 0) != 0) {
+    return Backend::kScalar;
+  }
+  return std::nullopt;
+}
+
 Backend ActiveBackend() {
   int backend = g_backend.load(std::memory_order_acquire);
   if (backend < 0) {
-    const Backend resolved =
-        strings::EnvSizeOr("PCOR_FORCE_SCALAR", 0) != 0
-            ? Backend::kScalar
-            : BestSupportedBackend();
+    const Backend best = BestSupportedBackend();
+    Backend resolved = ForcedBackendFromEnv().value_or(best);
+    // A forced tier above the hardware's degrades instead of faulting;
+    // the forced-tier ctest entries detect this via ForcedBackendFromEnv
+    // and skip.
+    if (static_cast<int>(resolved) > static_cast<int>(best)) resolved = best;
     backend = static_cast<int>(resolved);
     g_backend.store(backend, std::memory_order_release);
   }
@@ -559,6 +807,8 @@ const char* BackendName(Backend backend) {
       return "sse2";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
     case Backend::kScalar:
       break;
   }
@@ -570,6 +820,8 @@ const char* ActiveBackendName() { return BackendName(ActiveBackend()); }
 double Sum(std::span<const double> values) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return SumAvx512(values);
     case Backend::kAvx2:
       return SumAvx2(values);
     case Backend::kSse2:
@@ -583,6 +835,8 @@ double Sum(std::span<const double> values) {
 double SumSqDev(std::span<const double> values, double center) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return SumSqDevAvx512(values, center);
     case Backend::kAvx2:
       return SumSqDevAvx2(values, center);
     case Backend::kSse2:
@@ -606,6 +860,8 @@ MeanVar MeanAndVariance(std::span<const double> values) {
 MinMax MinMaxOf(std::span<const double> values) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return MinMaxAvx512(values);
     case Backend::kAvx2:
       return MinMaxAvx2(values);
     case Backend::kSse2:
@@ -619,6 +875,8 @@ MinMax MinMaxOf(std::span<const double> values) {
 ArgAbsDev ArgMaxAbsDeviation(std::span<const double> values, double center) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return ArgMaxAbsDevAvx512(values, center);
     case Backend::kAvx2:
       return ArgMaxAbsDevAvx2(values, center);
     case Backend::kSse2:
@@ -634,6 +892,8 @@ void ScanAbsZAbove(std::span<const double> values, double mean,
                    std::vector<size_t>* out) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return ScanAbsZAvx512(values, mean, stddev, threshold, out);
     case Backend::kAvx2:
       return ScanAbsZAvx2(values, mean, stddev, threshold, out);
     case Backend::kSse2:
@@ -648,6 +908,8 @@ void ScanOutsideRange(std::span<const double> values, double lo, double hi,
                       std::vector<size_t>* out) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return ScanOutsideAvx512(values, lo, hi, out);
     case Backend::kAvx2:
       return ScanOutsideAvx2(values, lo, hi, out);
     case Backend::kSse2:
@@ -662,6 +924,8 @@ void ScanAbove(std::span<const double> values, double threshold,
                std::vector<size_t>* out) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return ScanAboveAvx512(values, threshold, out);
     case Backend::kAvx2:
       return ScanAboveAvx2(values, threshold, out);
     case Backend::kSse2:
@@ -676,6 +940,8 @@ size_t CountOutsideRange(std::span<const double> values, double lo,
                          double hi) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return CountOutsideAvx512(values, lo, hi);
     case Backend::kAvx2:
       return CountOutsideAvx2(values, lo, hi);
     case Backend::kSse2:
@@ -690,6 +956,8 @@ double ReachSum(std::span<const double> x, std::span<const double> kdist,
                 double xi) {
   switch (ActiveBackend()) {
 #if PCOR_SIMD_X86
+    case Backend::kAvx512:
+      return ReachSumAvx512(x, kdist, xi);
     case Backend::kAvx2:
       return ReachSumAvx2(x, kdist, xi);
     case Backend::kSse2:

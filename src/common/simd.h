@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace pcor {
@@ -9,18 +11,24 @@ namespace simd {
 
 /// \brief Vectorized kernels for the detector hot loops.
 ///
-/// Every kernel comes in three implementations — portable scalar, SSE2 and
-/// AVX2 — selected once at process start via cpuid (see ActiveBackend) and
-/// dispatched per call through one predictable branch. The key contract is
-/// *bit-exact backend parity*: all sum-style reductions accumulate into
-/// four lanes (lane j takes elements with index ≡ j mod 4, in increasing
-/// index order) and combine them as (l0 + l1) + (l2 + l3), regardless of
-/// backend — scalar emulates the lanes, SSE2 uses two 2-wide accumulators,
-/// AVX2 one 4-wide accumulator. Element-wise predicates (threshold scans)
-/// and min/max are order-insensitive for NaN-free input. Consequently a
-/// detector built on these kernels returns the *identical* outlier index
-/// set on every backend, which is what makes the scalar/SIMD parity tests
-/// exact and the verifier cache answer-invariant across machines.
+/// Every kernel comes in four implementations — portable scalar, SSE2,
+/// AVX2 and AVX-512F — selected once at process start via cpuid (see
+/// ActiveBackend) and dispatched per call through one predictable branch.
+/// The key contract is *bit-exact backend parity*: all sum-style
+/// reductions accumulate into four lanes (lane j takes elements with index
+/// ≡ j mod 4, in increasing index order) and combine them as
+/// (l0 + l1) + (l2 + l3), regardless of backend — scalar emulates the
+/// lanes, SSE2 uses two 2-wide accumulators, AVX2 one 4-wide accumulator,
+/// and AVX-512 performs 512-bit loads whose halves feed the same 4-wide
+/// accumulator in order (two dependent adds per 8 elements). The AVX-512
+/// reductions deliberately use neither 8 independent lanes nor FMA: both
+/// would change the rounding sequence and break parity. Element-wise
+/// predicates (threshold scans, via mask registers on AVX-512) and min/max
+/// are order-insensitive for NaN-free input, so those kernels do run
+/// genuinely 8-wide. Consequently a detector built on these kernels
+/// returns the *identical* outlier index set on every backend, which is
+/// what makes the scalar/SIMD parity tests exact and the verifier cache
+/// answer-invariant across machines.
 ///
 /// Inputs are assumed NaN-free; the population index only ever feeds real
 /// metric values.
@@ -28,23 +36,36 @@ enum class Backend {
   kScalar = 0,
   kSse2 = 1,
   kAvx2 = 2,
+  kAvx512 = 3,
 };
 
 /// \brief Best backend the running CPU supports (cpuid probe, no env).
 Backend BestSupportedBackend();
 
 /// \brief The backend all kernels dispatch to. Resolved once on first use:
-/// PCOR_FORCE_SCALAR=1 in the environment pins the scalar path, otherwise
-/// BestSupportedBackend() wins. Thread-safe.
+/// PCOR_FORCE_SIMD=scalar|sse2|avx2|avx512 pins a tier (clamped to
+/// BestSupportedBackend), PCOR_FORCE_SCALAR=1 is the legacy alias for
+/// PCOR_FORCE_SIMD=scalar, otherwise BestSupportedBackend() wins.
+/// Thread-safe.
 Backend ActiveBackend();
 
 /// \brief Overrides the active backend (clamped to BestSupportedBackend so
-/// an AVX2 request on a non-AVX2 host degrades instead of faulting).
+/// an AVX-512 request on an AVX2-only host degrades instead of faulting).
 /// Returns the backend actually installed. Intended for parity tests and
 /// the scalar-vs-SIMD micro benches; not part of the serving API.
 Backend SetBackendForTest(Backend backend);
 
-/// \brief Stable lower-case name: "scalar", "sse2" or "avx2".
+/// \brief Parses a backend name ("scalar", "sse2", "avx2", "avx512");
+/// nullopt for anything else.
+std::optional<Backend> ParseBackendName(std::string_view name);
+
+/// \brief The tier requested via PCOR_FORCE_SIMD / PCOR_FORCE_SCALAR,
+/// *before* clamping to hardware support — nullopt when neither var is set
+/// (or the value is unparseable). Lets the forced-tier ctest entries skip
+/// cleanly when the requested tier exceeds the host's.
+std::optional<Backend> ForcedBackendFromEnv();
+
+/// \brief Stable lower-case name: "scalar", "sse2", "avx2" or "avx512".
 const char* BackendName(Backend backend);
 
 /// \brief BackendName(ActiveBackend()) — recorded in release metadata so

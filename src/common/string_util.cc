@@ -120,5 +120,10 @@ double EnvDoubleOr(const char* name, double fallback) {
   return v ? ParseDoubleOr(v, fallback) : fallback;
 }
 
+std::string EnvStringOr(const char* name, std::string_view fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : std::string(fallback);
+}
+
 }  // namespace strings
 }  // namespace pcor

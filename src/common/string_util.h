@@ -40,5 +40,9 @@ double ParseDoubleOr(std::string_view s, double fallback);
 size_t EnvSizeOr(const char* name, size_t fallback);
 double EnvDoubleOr(const char* name, double fallback);
 
+/// \brief Reads an environment variable as a string; returns fallback when
+/// unset (an empty-but-set variable is returned as the empty string).
+std::string EnvStringOr(const char* name, std::string_view fallback);
+
 }  // namespace strings
 }  // namespace pcor

@@ -4,10 +4,33 @@
 #include <vector>
 
 #include "src/common/bitvector.h"
+#include "src/common/compressed_bitmap.h"
 #include "src/context/context.h"
 #include "src/data/dataset.h"
 
 namespace pcor {
+
+/// \brief How the index stores its per-(attribute, value) bitmaps.
+///
+/// kCompressed (the default) uses roaring-style CompressedBitmap containers
+/// — the million-row working-set optimization. kDense keeps one flat
+/// BitVector per value, retained as the ablation baseline and the reference
+/// implementation the exact-equivalence tests compare against. Both
+/// storages produce bit-identical populations, counts, and overlaps.
+enum class IndexStorage { kDense, kCompressed };
+
+/// \brief Storage picked by the PCOR_COMPRESSED_INDEX env var:
+/// unset or nonzero → kCompressed, 0 → kDense (ablation toggle).
+IndexStorage DefaultIndexStorage();
+
+/// \brief Working-set accounting for benchmarks and the memory acceptance
+/// bar. The chunk census fields are zero for dense storage.
+struct PopulationIndexStats {
+  size_t bitmap_bytes = 0;  ///< heap bytes held by the value bitmaps
+  size_t empty_chunks = 0;
+  size_t array_chunks = 0;
+  size_t dense_chunks = 0;
+};
 
 /// \brief Caller-owned scratch buffers for allocation-free population
 /// probes. Reuse one instance per thread (or per tight loop): after a few
@@ -58,13 +81,29 @@ class PopulationView {
 /// path: they fill caller-owned buffers and allocate nothing in steady
 /// state. The value-returning methods are thin wrappers kept for
 /// convenience and tests.
+///
+/// With IndexStorage::kCompressed the probe API is unchanged but gains
+/// container-aware fast paths: single-value attributes AND straight into
+/// the population (array∩dense probe), and all-singleton contexts — the
+/// exact contexts that dominate the search frontier — fold through
+/// CompressedBitmap::IntersectInto (array∩array galloping, dense∩dense
+/// words) without ever materializing a dense bitmap. OverlapCount
+/// additionally exploits that value bitmaps within an attribute partition
+/// the rows, so D_C1 ∩ D_C2 equals the population of the bitwise-AND
+/// merged context.
 class PopulationIndex {
  public:
-  explicit PopulationIndex(const Dataset& dataset);
+  explicit PopulationIndex(const Dataset& dataset,
+                           IndexStorage storage = DefaultIndexStorage());
 
   const Dataset& dataset() const { return *dataset_; }
   const Schema& schema() const { return dataset_->schema(); }
   size_t num_rows() const { return dataset_->num_rows(); }
+  IndexStorage storage() const { return storage_; }
+
+  /// \brief Heap footprint of the value bitmaps plus (for compressed
+  /// storage) the container census.
+  PopulationIndexStats MemoryStats() const;
 
   /// \brief Fills `*population` with the bitmap of rows selected by `c`,
   /// using `*attr_union` as the per-attribute accumulator. Allocation-free
@@ -98,13 +137,26 @@ class PopulationIndex {
                         size_t* v_position) const;
 
   /// \brief Bitmap of rows matching attribute value (attr, value) — exposed
-  /// for tests and micro-benchmarks.
+  /// for tests and micro-benchmarks. For compressed storage the bitmap is
+  /// materialized into a thread_local buffer; the reference is invalidated
+  /// by the next ValueBitmap call on the same thread.
   const BitVector& ValueBitmap(size_t attr, size_t value) const;
 
  private:
+  void PopulationIntoDense(const ContextVec& c, BitVector* population,
+                           BitVector* attr_union) const;
+  void PopulationIntoCompressed(const ContextVec& c, BitVector* population,
+                                BitVector* attr_union) const;
+  /// \brief Chosen values of attribute `a` in `c`, appended to `*values`.
+  void ChosenValues(const ContextVec& c, size_t a,
+                    std::vector<size_t>* values) const;
+
   const Dataset* dataset_;
+  IndexStorage storage_;
+  // Exactly one of the two stores is populated, per storage_.
   // bitmaps_[attr][value] = rows where dataset.code(row, attr) == value.
   std::vector<std::vector<BitVector>> bitmaps_;
+  std::vector<std::vector<CompressedBitmap>> compressed_;
 };
 
 }  // namespace pcor

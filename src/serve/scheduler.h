@@ -26,9 +26,13 @@ enum class SchedulingPolicy {
   /// One global arrival order across all tenants — the pre-QoS behavior.
   /// A tenant flooding the queue delays everyone admitted after it.
   kFifo,
-  /// Deficit round robin over per-tenant FIFO queues: each round, a tenant
-  /// of weight w is served up to w requests (fractional weights accumulate
-  /// across rounds), so a saturating tenant cannot starve the others.
+  /// Deficit round robin over per-tenant FIFO queues: each round a tenant
+  /// of weight w earns w units of service credit and is served while its
+  /// credit covers the cost of its front request (costs default to 1, so
+  /// with unit costs this is classic per-request DRR). Pushers may charge
+  /// a request's actual epsilon as its cost, making the fair share hold in
+  /// privacy budget per second rather than requests per second — a tenant
+  /// of expensive queries cannot crowd out one of cheap queries.
   kWeightedFair,
 };
 
@@ -68,8 +72,9 @@ Status ValidateTenantConfig(const TenantConfig& config);
 ///
 /// Fairness: under kWeightedFair each tenant owns a FIFO deque and pops
 /// are picked by deficit round robin — on reaching the front of the active
-/// list a tenant's deficit grows by its weight and it is served one
-/// request per unit of deficit. Requests of one tenant never reorder
+/// list a tenant's deficit grows by its weight and it is served while its
+/// credit covers the cost attached to its front request (default 1, i.e.
+/// one request per unit of deficit). Requests of one tenant never reorder
 /// relative to each other under either policy.
 ///
 /// Thread-safe. Tenant registration may interleave with pushes; a weight
@@ -98,7 +103,13 @@ class WeightedFairQueue {
 
   /// \brief Blocking push: waits while the global capacity is exhausted.
   /// Returns kOk, kTenantFull (depth bound, immediate), or kClosed.
-  QueueOp Push(std::string_view tenant_id, T item) {
+  /// `cost` is the DRR service charge for this request (positive, finite;
+  /// default 1 = classic per-request fairness). The server charges each
+  /// request's total epsilon so the weighted shares hold in privacy budget
+  /// rather than request count. Ignored under kFifo.
+  QueueOp Push(std::string_view tenant_id, T item, double cost = 1.0) {
+    PCOR_CHECK(std::isfinite(cost) && cost > 0.0)
+        << "request cost must be positive and finite";
     std::unique_lock<std::mutex> lock(mu_);
     Tenant* tenant = FindOrCreateLocked(tenant_id);
     while (true) {
@@ -109,7 +120,7 @@ class WeightedFairQueue {
       if (size_ < capacity_) break;
       not_full_.wait(lock);
     }
-    PushLocked(tenant, std::move(item));
+    PushLocked(tenant, std::move(item), cost);
     lock.unlock();
     not_empty_.notify_one();
     return QueueOp::kOk;
@@ -117,7 +128,9 @@ class WeightedFairQueue {
 
   /// \brief Non-blocking push: kFull when the global capacity is exhausted
   /// (item untouched), otherwise as Push.
-  QueueOp TryPush(std::string_view tenant_id, T&& item) {
+  QueueOp TryPush(std::string_view tenant_id, T&& item, double cost = 1.0) {
+    PCOR_CHECK(std::isfinite(cost) && cost > 0.0)
+        << "request cost must be positive and finite";
     std::unique_lock<std::mutex> lock(mu_);
     if (closed_) return QueueOp::kClosed;
     Tenant* tenant = FindOrCreateLocked(tenant_id);
@@ -125,7 +138,7 @@ class WeightedFairQueue {
       return QueueOp::kTenantFull;
     }
     if (size_ >= capacity_) return QueueOp::kFull;
-    PushLocked(tenant, std::move(item));
+    PushLocked(tenant, std::move(item), cost);
     lock.unlock();
     not_empty_.notify_one();
     return QueueOp::kOk;
@@ -172,11 +185,17 @@ class WeightedFairQueue {
   SchedulingPolicy policy() const { return policy_; }
 
  private:
+  /// A queued request with its DRR service charge.
+  struct Entry {
+    T item;
+    double cost = 1.0;
+  };
+
   struct Tenant {
     std::string id;
     double weight = 1.0;
     size_t max_depth = 0;
-    std::deque<T> items;
+    std::deque<Entry> items;
     /// DRR state: accumulated service credit, grown by `weight` per round.
     double deficit = 0.0;
     bool active = false;  ///< present in active_ (kWeightedFair only)
@@ -194,8 +213,8 @@ class WeightedFairQueue {
     return tenant;
   }
 
-  void PushLocked(Tenant* tenant, T item) {
-    tenant->items.push_back(std::move(item));
+  void PushLocked(Tenant* tenant, T item, double cost) {
+    tenant->items.push_back(Entry{std::move(item), cost});
     ++size_;
     if (policy_ == SchedulingPolicy::kFifo) {
       arrival_.push_back(tenant);
@@ -215,7 +234,7 @@ class WeightedFairQueue {
     if (policy_ == SchedulingPolicy::kFifo) {
       Tenant* tenant = arrival_.front();
       arrival_.pop_front();
-      *out = std::move(tenant->items.front());
+      *out = std::move(tenant->items.front().item);
       tenant->items.pop_front();
     } else {
       PopWeightedFairLocked(out);
@@ -226,30 +245,33 @@ class WeightedFairQueue {
     return QueueOp::kOk;
   }
 
-  // Deficit round robin: the front tenant of the active list is served one
-  // request per unit of deficit; when its credit runs out it rotates to
-  // the back, earning `weight` more on its next visit — a weight-0.25
-  // tenant is served once every four rounds rather than never. When a
-  // whole rotation passes without a serve (every active weight < 1), the
+  // Deficit round robin: the front tenant of the active list is served
+  // while its credit covers its front request's cost; when its credit runs
+  // out it rotates to the back, earning `weight` more on its next visit —
+  // a weight-0.25 tenant with unit costs is served once every four rounds
+  // rather than never. When a whole rotation passes without a serve (every
+  // active tenant's next request costs more than it earns per round), the
   // remaining rounds are granted in one arithmetic step instead of
   // iterated, so a pathologically small — but valid — weight (say 1e-9 as
-  // the only backlogged tenant) cannot spin this loop a billion times
-  // under mu_ and stall every submitter. Cost is O(active tenants) per
-  // pop in the worst case.
+  // the only backlogged tenant) or an expensive front request cannot spin
+  // this loop a billion times under mu_ and stall every submitter. Cost is
+  // O(active tenants) per pop in the worst case.
   void PopWeightedFairLocked(T* out) {
     size_t rotations = 0;
     while (true) {
       PCOR_CHECK(!active_.empty()) << "size_ > 0 with no active tenant";
       Tenant* tenant = active_.front();
-      if (tenant->deficit < 1.0) {
+      const double cost = tenant->items.front().cost;
+      if (tenant->deficit < cost) {
         if (rotations >= active_.size()) {
           // Everyone earned a quantum this rotation and still cannot
-          // afford a request. Advance r whole rounds at once, r chosen so
-          // the fastest-accumulating tenant reaches a full credit.
+          // afford its front request. Advance r whole rounds at once, r
+          // chosen so the first tenant to afford its request gets there.
           double rounds = std::numeric_limits<double>::infinity();
           for (Tenant* t : active_) {
-            rounds =
-                std::min(rounds, std::ceil((1.0 - t->deficit) / t->weight));
+            rounds = std::min(
+                rounds, std::ceil((t->items.front().cost - t->deficit) /
+                                  t->weight));
           }
           rounds = std::max(1.0, rounds);
           for (Tenant* t : active_) t->deficit += rounds * t->weight;
@@ -257,21 +279,21 @@ class WeightedFairQueue {
           continue;
         }
         tenant->deficit += tenant->weight;
-        if (tenant->deficit < 1.0) {
+        if (tenant->deficit < cost) {
           active_.pop_front();
           active_.push_back(tenant);
           ++rotations;
           continue;
         }
       }
-      tenant->deficit -= 1.0;
-      *out = std::move(tenant->items.front());
+      tenant->deficit -= cost;
+      *out = std::move(tenant->items.front().item);
       tenant->items.pop_front();
       if (tenant->items.empty()) {
         active_.pop_front();
         tenant->active = false;
         tenant->deficit = 0.0;
-      } else if (tenant->deficit < 1.0) {
+      } else if (tenant->deficit < tenant->items.front().cost) {
         // Credit exhausted with work left: yield the front — staying put
         // would re-earn a quantum on the next pop and starve the round.
         active_.pop_front();

@@ -105,9 +105,13 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
   }
   Future<BatchEntry> future = pending.promise.GetFuture();
 
-  QueueOp pushed = options_.backpressure == BackpressurePolicy::kBlock
-                       ? queue_.Push(client_id, std::move(pending))
-                       : queue_.TryPush(client_id, std::move(pending));
+  // The DRR charge is the request's epsilon, so a tenant's fair share
+  // holds in privacy budget per second: one expensive release costs as
+  // many scheduling credits as many cheap ones.
+  QueueOp pushed =
+      options_.backpressure == BackpressurePolicy::kBlock
+          ? queue_.Push(client_id, std::move(pending), cost)
+          : queue_.TryPush(client_id, std::move(pending), cost);
   if (pushed != QueueOp::kOk) {
     // Nothing ran against the data: roll the admission back. The stream
     // slot is returned only if no other submission for this client claimed

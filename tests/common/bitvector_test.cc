@@ -98,5 +98,63 @@ TEST(BitVectorTest, EmptyVector) {
   EXPECT_TRUE(b.NoneSet());
 }
 
+TEST(BitVectorTest, AssignAcrossWordAndChunkBoundaries) {
+  // Sizes straddling the word boundary and the compressed-bitmap chunk
+  // boundary (64Ki bits): Assign must leave exactly `size` live bits and
+  // keep the tail of the last partial word clear, in both directions of
+  // resize and both fill values.
+  BitVector b(10, true);
+  const size_t kChunk = size_t{1} << 16;
+  const size_t sizes[] = {63,         64,         65,        128,
+                          kChunk - 1, kChunk,     kChunk + 1, 5,
+                          3 * kChunk + 17};
+  for (const size_t n : sizes) {
+    b.Assign(n, true);
+    EXPECT_EQ(b.size(), n);
+    EXPECT_EQ(b.Count(), n) << n;  // no stray bits beyond size
+    b.Assign(n, false);
+    EXPECT_EQ(b.Count(), 0u) << n;
+  }
+}
+
+TEST(BitVectorTest, LastPartialWordStaysCleanThroughOps) {
+  // Operations that write whole words (FillAll, XorWith against a full
+  // vector) must never leak bits into the dead tail of the last word,
+  // which Count and AndCount would otherwise overcount.
+  BitVector b(70);
+  b.FillAll(true);
+  BitVector full(70, true);
+  b.XorWith(full);  // word-wise XOR: tail must stay zero
+  EXPECT_EQ(b.Count(), 0u);
+  b.FillAll(true);
+  EXPECT_EQ(b.AndCount(full), 70u);
+  b.Set(69);  // last live bit is settable and testable
+  EXPECT_TRUE(b.Test(69));
+}
+
+TEST(BitVectorTest, AppendSetBitsAtBoundaries) {
+  // First/last bit of words at the front, a word boundary pair, and the
+  // final partial word — AppendSetBits must emit all of them ascending and
+  // append (not clobber) into a non-empty output vector.
+  BitVector b(130);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(128);
+  b.Set(129);
+  std::vector<uint32_t> out{7};  // pre-existing element must survive
+  b.AppendSetBits(&out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{7, 0, 63, 64, 128, 129}));
+  // Empty and full vectors are the container extremes.
+  std::vector<uint32_t> none;
+  BitVector(200).AppendSetBits(&none);
+  EXPECT_TRUE(none.empty());
+  std::vector<uint32_t> all;
+  BitVector(67, true).AppendSetBits(&all);
+  ASSERT_EQ(all.size(), 67u);
+  EXPECT_EQ(all.front(), 0u);
+  EXPECT_EQ(all.back(), 66u);
+}
+
 }  // namespace
 }  // namespace pcor

@@ -1,0 +1,164 @@
+#include "src/common/compressed_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitvector.h"
+#include "src/common/random.h"
+
+namespace pcor {
+namespace {
+
+// Builders for bitmaps that land in specific containers: densities well
+// below kArrayMax/kChunkBits compress to array chunks, above it to dense
+// chunks, and zero density to empty chunks.
+BitVector RandomBits(size_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(density)) bits.Set(i);
+  }
+  return bits;
+}
+
+TEST(CompressedBitmapTest, RoundTripIsExactAcrossContainerKinds) {
+  // 2.5 chunks of rows: chunk 0 sparse (array), chunk 1 dense, chunk 2
+  // partial and empty — one bitmap exercising all three container kinds.
+  const size_t n = 2 * CompressedBitmap::kChunkBits + 1000;
+  BitVector bits(n);
+  for (size_t i = 0; i < 100; ++i) bits.Set(i * 17);  // sparse chunk 0
+  for (size_t i = CompressedBitmap::kChunkBits;
+       i < 2 * CompressedBitmap::kChunkBits; i += 2) {
+    bits.Set(i);  // half-full chunk 1 → dense
+  }
+  const CompressedBitmap compressed = CompressedBitmap::FromBitVector(bits);
+  EXPECT_EQ(compressed.size(), n);
+  EXPECT_EQ(compressed.count(), bits.Count());
+  const CompressedBitmap::Census census = compressed.ChunkCensus();
+  EXPECT_EQ(census.array_chunks, 1u);
+  EXPECT_EQ(census.dense_chunks, 1u);
+  EXPECT_EQ(census.empty_chunks, 1u);
+  EXPECT_EQ(compressed.ToBitVector(), bits);
+}
+
+TEST(CompressedBitmapTest, RoundTripUnderRandomFlips) {
+  // Random densities straddling the array/dense break-even, re-flipped
+  // several times: compress(bits).ToBitVector() must equal bits exactly.
+  Rng rng(99);
+  const size_t n = CompressedBitmap::kChunkBits + 777;
+  BitVector bits = RandomBits(n, 0.02, 7);
+  for (int round = 0; round < 5; ++round) {
+    for (int f = 0; f < 2000; ++f) {
+      const size_t i = rng.NextBounded(n);
+      if (bits.Test(i)) {
+        bits.Clear(i);
+      } else {
+        bits.Set(i);
+      }
+    }
+    const CompressedBitmap compressed = CompressedBitmap::FromBitVector(bits);
+    EXPECT_EQ(compressed.ToBitVector(), bits) << "round " << round;
+    EXPECT_EQ(compressed.count(), bits.Count()) << "round " << round;
+  }
+}
+
+TEST(CompressedBitmapTest, EmptyAndFullBitmaps) {
+  const size_t n = CompressedBitmap::kChunkBits + 321;
+  const CompressedBitmap empty =
+      CompressedBitmap::FromBitVector(BitVector(n));
+  EXPECT_EQ(empty.count(), 0u);
+  // Only the fixed per-chunk bookkeeping remains — no container storage.
+  EXPECT_LT(empty.MemoryBytes(), 1024u);
+  EXPECT_EQ(empty.ToBitVector(), BitVector(n));
+
+  const CompressedBitmap full =
+      CompressedBitmap::FromBitVector(BitVector(n, true));
+  EXPECT_EQ(full.count(), n);
+  EXPECT_EQ(full.ToBitVector(), BitVector(n, true));
+  // A default-constructed bitmap behaves as a zero-row bitmap.
+  EXPECT_EQ(CompressedBitmap().count(), 0u);
+  EXPECT_EQ(CompressedBitmap().ToBitVector().size(), 0u);
+}
+
+// Every container-pair kernel must agree exactly with the dense AndWith /
+// AndCount on the same bits, across sparse∩sparse (array∩array, both
+// galloping and linear-merge regimes), sparse∩dense, and dense∩dense.
+TEST(CompressedBitmapTest, IntersectionKernelsMatchDenseReference) {
+  const size_t n = 3 * CompressedBitmap::kChunkBits / 2;
+  struct Pair {
+    double da, db;
+  };
+  // Densities per side: 0.0005 → tiny arrays (galloping against bigger
+  // partners), 0.02 → large arrays, 0.4 → dense chunks.
+  const Pair pairs[] = {{0.0005, 0.0005}, {0.0005, 0.02}, {0.0005, 0.4},
+                        {0.02, 0.02},     {0.02, 0.4},    {0.4, 0.4}};
+  uint64_t seed = 1000;
+  for (const Pair& p : pairs) {
+    const BitVector a = RandomBits(n, p.da, ++seed);
+    const BitVector b = RandomBits(n, p.db, ++seed);
+    BitVector dense_and = a;
+    dense_and.AndWith(b);
+    const size_t want = dense_and.Count();
+
+    const CompressedBitmap ca = CompressedBitmap::FromBitVector(a);
+    const CompressedBitmap cb = CompressedBitmap::FromBitVector(b);
+    EXPECT_EQ(ca.AndCountWith(cb), want) << p.da << " x " << p.db;
+    EXPECT_EQ(cb.AndCountWith(ca), want) << p.da << " x " << p.db;
+    EXPECT_EQ(ca.AndCountDense(b), want) << p.da << " x " << p.db;
+
+    BitVector inout = b;
+    ca.AndIntoDense(&inout);
+    EXPECT_EQ(inout, dense_and) << p.da << " x " << p.db;
+
+    CompressedBitmap out;
+    CompressedBitmap::IntersectInto(ca, cb, &out);
+    EXPECT_EQ(out.count(), want) << p.da << " x " << p.db;
+    EXPECT_EQ(out.ToBitVector(), dense_and) << p.da << " x " << p.db;
+  }
+}
+
+TEST(CompressedBitmapTest, OrIntoDenseMatchesDenseReference) {
+  const size_t n = CompressedBitmap::kChunkBits + 123;
+  const BitVector a = RandomBits(n, 0.01, 5);
+  const BitVector b = RandomBits(n, 0.3, 6);
+  BitVector want = a;
+  want.OrWith(b);
+  BitVector got(n);
+  CompressedBitmap::FromBitVector(a).OrIntoDense(&got);
+  CompressedBitmap::FromBitVector(b).OrIntoDense(&got);
+  EXPECT_EQ(got, want);
+}
+
+TEST(CompressedBitmapTest, IntersectIntoReusesOutputStorage) {
+  // Steady-state reuse: a second IntersectInto through the same output
+  // object must produce the second result exactly, not leak the first.
+  const size_t n = 2 * CompressedBitmap::kChunkBits;
+  const CompressedBitmap a =
+      CompressedBitmap::FromBitVector(RandomBits(n, 0.01, 21));
+  const CompressedBitmap b =
+      CompressedBitmap::FromBitVector(RandomBits(n, 0.01, 22));
+  const CompressedBitmap c =
+      CompressedBitmap::FromBitVector(RandomBits(n, 0.3, 23));
+  CompressedBitmap out;
+  CompressedBitmap::IntersectInto(a, b, &out);
+  CompressedBitmap::IntersectInto(a, c, &out);
+  BitVector want = a.ToBitVector();
+  want.AndWith(c.ToBitVector());
+  EXPECT_EQ(out.ToBitVector(), want);
+}
+
+TEST(CompressedBitmapTest, SparseBitmapIsMuchSmallerThanDense) {
+  // The tentpole's memory claim at unit scale: a 1/64 density bitmap must
+  // compress well below half the dense footprint (it lands near 2 bytes
+  // per set bit = n/32 bytes vs n/8 dense).
+  const size_t n = 4 * CompressedBitmap::kChunkBits;
+  const BitVector bits = RandomBits(n, 1.0 / 64.0, 77);
+  const CompressedBitmap compressed = CompressedBitmap::FromBitVector(bits);
+  const size_t dense_bytes = bits.num_words() * sizeof(uint64_t);
+  EXPECT_LT(compressed.MemoryBytes(), dense_bytes / 2);
+}
+
+}  // namespace
+}  // namespace pcor

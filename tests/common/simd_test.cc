@@ -30,11 +30,10 @@ double LaneSumSqDev(const std::vector<double>& v, double c) {
 
 std::vector<simd::Backend> AvailableBackends() {
   std::vector<simd::Backend> backends{simd::Backend::kScalar};
-  const simd::Backend best = simd::BestSupportedBackend();
-  if (best != simd::Backend::kScalar) {
-    backends.push_back(simd::Backend::kSse2);
+  const int best = static_cast<int>(simd::BestSupportedBackend());
+  for (int b = static_cast<int>(simd::Backend::kSse2); b <= best; ++b) {
+    backends.push_back(static_cast<simd::Backend>(b));
   }
-  if (best == simd::Backend::kAvx2) backends.push_back(simd::Backend::kAvx2);
   return backends;
 }
 
@@ -61,13 +60,28 @@ TEST(SimdDispatchTest, BackendNamesAreStable) {
   EXPECT_STREQ(simd::BackendName(simd::Backend::kScalar), "scalar");
   EXPECT_STREQ(simd::BackendName(simd::Backend::kSse2), "sse2");
   EXPECT_STREQ(simd::BackendName(simd::Backend::kAvx2), "avx2");
+  EXPECT_STREQ(simd::BackendName(simd::Backend::kAvx512), "avx512");
   EXPECT_NE(simd::ActiveBackendName(), nullptr);
+}
+
+TEST(SimdDispatchTest, ParseBackendNameRoundTripsAndRejectsJunk) {
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kAvx512}) {
+    const auto parsed = simd::ParseBackendName(simd::BackendName(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(simd::ParseBackendName("").has_value());
+  EXPECT_FALSE(simd::ParseBackendName("avx").has_value());
+  EXPECT_FALSE(simd::ParseBackendName("AVX2").has_value());
+  EXPECT_FALSE(simd::ParseBackendName("avx5120").has_value());
 }
 
 TEST(SimdDispatchTest, SetBackendClampsToSupported) {
   BackendGuard guard;
   const simd::Backend installed =
-      simd::SetBackendForTest(simd::Backend::kAvx2);
+      simd::SetBackendForTest(simd::Backend::kAvx512);
   EXPECT_LE(static_cast<int>(installed),
             static_cast<int>(simd::BestSupportedBackend()));
   EXPECT_EQ(simd::ActiveBackend(), installed);

@@ -8,8 +8,12 @@
 //
 // On hosts without SIMD support the dispatched path *is* the scalar path
 // and the tests pass trivially; the ctest registration in
-// tests/CMakeLists.txt additionally re-runs this binary with
-// PCOR_FORCE_SCALAR=1 so the scalar kernels get sanitizer coverage too.
+// tests/CMakeLists.txt additionally re-runs this binary under
+// PCOR_FORCE_SIMD=scalar|sse2|avx2|avx512 (plus the legacy
+// PCOR_FORCE_SCALAR=1 alias) so every kernel tier gets explicit — and
+// sanitizer — coverage. A forced tier above the host's degrades in the
+// dispatcher; the env-override test below detects that and skips instead
+// of asserting the pin.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -18,17 +22,17 @@
 
 #include "src/common/random.h"
 #include "src/common/simd.h"
-#include "src/common/string_util.h"
 #include "src/outlier/detector.h"
 
 namespace pcor {
 namespace {
 
 // The backend the dispatcher resolved at startup — honoring
-// PCOR_FORCE_SCALAR — captured before any test calls SetBackendForTest.
-// Under the forced-scalar ctest entry this is kScalar, so the "dispatched"
-// half of every parity check below really runs the scalar kernels (and the
-// env-override path itself gets asserted in EnvOverride below).
+// PCOR_FORCE_SIMD / PCOR_FORCE_SCALAR — captured before any test calls
+// SetBackendForTest. Under a forced-tier ctest entry this is the pinned
+// tier, so the "dispatched" half of every parity check below really runs
+// that tier's kernels (and the env-override path itself gets asserted in
+// EnvOverride below).
 const simd::Backend kDispatched = simd::ActiveBackend();
 
 struct NamedInput {
@@ -99,14 +103,24 @@ std::vector<NamedInput> ParityInputs() {
   return inputs;
 }
 
-TEST(SimdEnvOverrideTest, ForceScalarEnvPinsTheScalarBackend) {
-  // Same predicate the dispatcher uses (any nonzero value forces scalar).
-  if (strings::EnvSizeOr("PCOR_FORCE_SCALAR", 0) != 0) {
-    EXPECT_EQ(kDispatched, simd::Backend::kScalar)
-        << "PCOR_FORCE_SCALAR must pin the scalar path";
-  } else {
+TEST(SimdEnvOverrideTest, ForcedTierEnvPinsTheBackend) {
+  // Same resolution the dispatcher uses: PCOR_FORCE_SIMD wins, the legacy
+  // PCOR_FORCE_SCALAR alias is honored, and an unset/unparseable pin means
+  // the best supported tier dispatches.
+  const std::optional<simd::Backend> forced = simd::ForcedBackendFromEnv();
+  if (!forced.has_value()) {
     EXPECT_EQ(kDispatched, simd::BestSupportedBackend());
+    return;
   }
+  if (static_cast<int>(*forced) >
+      static_cast<int>(simd::BestSupportedBackend())) {
+    GTEST_SKIP() << "forced tier " << simd::BackendName(*forced)
+                 << " is not supported on this host (dispatcher degraded to "
+                 << simd::ActiveBackendName()
+                 << "); the parity tests still ran against that tier";
+  }
+  EXPECT_EQ(kDispatched, *forced)
+      << "PCOR_FORCE_SIMD/PCOR_FORCE_SCALAR must pin the requested tier";
 }
 
 class DetectorParityTest : public ::testing::TestWithParam<std::string> {

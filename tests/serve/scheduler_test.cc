@@ -244,6 +244,92 @@ TEST(WeightedFairQueueTest, PathologicallySmallWeightsServeWithoutSpinning) {
   EXPECT_EQ(item.second, 0);
 }
 
+TEST(WeightedFairQueueTest, EpsilonCostsEqualizePrivacyBudgetShare) {
+  // Equal weights, unequal request costs: "cheap" spends epsilon 0.5 per
+  // request, "dear" spends 2.0. Fair share must hold in epsilon, not in
+  // request count — every full round serves 4 cheap + 1 dear (2.0 epsilon
+  // each side), so after k rounds both tenants have released exactly
+  // 2k epsilon.
+  WeightedFairQueue<Item> queue(512, SchedulingPolicy::kWeightedFair);
+  queue.RegisterTenant("cheap", 1.0, 0);
+  queue.RegisterTenant("dear", 1.0, 0);
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_EQ(queue.TryPush("cheap", Item{"cheap", i}, 0.5), QueueOp::kOk);
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(queue.TryPush("dear", Item{"dear", i}, 2.0), QueueOp::kOk);
+  }
+
+  const std::vector<Item> order = DrainAll(&queue);
+  ASSERT_EQ(order.size(), 100u);
+  double cheap_eps = 0.0, dear_eps = 0.0;
+  size_t checked_rounds = 0;
+  for (const Item& item : order) {
+    if (item.first == "cheap") {
+      cheap_eps += 0.5;
+    } else {
+      dear_eps += 2.0;
+    }
+    // At every full-round boundary while both tenants are backlogged
+    // (5 serves per round, 20 rounds total), the cumulative epsilon
+    // served is identical on both sides.
+    if (cheap_eps + dear_eps >= 4.0 * (checked_rounds + 1)) {
+      ++checked_rounds;
+      EXPECT_EQ(cheap_eps, dear_eps)
+          << "after " << (cheap_eps + dear_eps) << " epsilon served";
+    }
+  }
+  EXPECT_EQ(checked_rounds, 20u);
+  EXPECT_DOUBLE_EQ(cheap_eps, 40.0);
+  EXPECT_DOUBLE_EQ(dear_eps, 40.0);
+}
+
+TEST(WeightedFairQueueTest, EpsilonCostsComposeWithWeights) {
+  // A weight-3 tenant of expensive (3.0-epsilon) requests against a
+  // weight-1 tenant of cheap (1.0) ones: each earns exactly its own front
+  // cost per round, so serves alternate 1:1 in count — which is the 3:1
+  // weighted share in epsilon.
+  WeightedFairQueue<Item> queue(512, SchedulingPolicy::kWeightedFair);
+  queue.RegisterTenant("big", 3.0, 0);
+  queue.RegisterTenant("small", 1.0, 0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(queue.TryPush("big", Item{"big", i}, 3.0), QueueOp::kOk);
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_EQ(queue.TryPush("small", Item{"small", i}, 1.0), QueueOp::kOk);
+  }
+  const std::vector<Item> order = DrainAll(&queue);
+  ASSERT_EQ(order.size(), 40u);
+  // Any prefix of k full rounds (4 serves each) holds the 3:1 epsilon
+  // ratio exactly while both tenants stay backlogged (big's 10 requests
+  // last 5 full rounds; after that the cheap tenant drains alone).
+  for (size_t round = 1; round <= 5; ++round) {
+    double big_eps = 0.0, small_eps = 0.0;
+    for (size_t i = 0; i < round * 4; ++i) {
+      if (order[i].first == "big") {
+        big_eps += 3.0;
+      } else {
+        small_eps += 1.0;
+      }
+    }
+    EXPECT_DOUBLE_EQ(big_eps, 3.0 * small_eps) << "round " << round;
+  }
+}
+
+TEST(WeightedFairQueueTest, ExpensiveFrontRequestDoesNotSpinOrStarve) {
+  // A single backlogged tenant whose front request costs 1000x its weight
+  // must be served via the arithmetic round fast-forward, not a 1000-
+  // iteration spin; afterwards cheap requests flow normally.
+  WeightedFairQueue<Item> queue(8, SchedulingPolicy::kWeightedFair);
+  queue.RegisterTenant("t", 0.001, 0);
+  ASSERT_EQ(queue.TryPush("t", Item{"t", 0}, 1.0), QueueOp::kOk);
+  ASSERT_EQ(queue.TryPush("t", Item{"t", 1}, 0.001), QueueOp::kOk);
+  const std::vector<Item> order = DrainAll(&queue);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].second, 0);
+  EXPECT_EQ(order[1].second, 1);
+}
+
 TEST(WeightedFairQueueTest, ReweightingAppliesFromTheNextRound) {
   WeightedFairQueue<Item> queue(512, SchedulingPolicy::kWeightedFair);
   queue.RegisterTenant("t", 1.0, 0);
