@@ -1,15 +1,21 @@
 // Million-row hot-path benchmark: a 1M-row x 160-value salary dataset
 // probed with ~1000 contexts through the compressed population index, with
-// three machine-readable BENCH_JSON lines and two enforced bars:
+// machine-readable BENCH_JSON lines and three enforced bars:
 //
 //   - compressed-index working set must be <= 50% of the dense index on
 //     this sparse-context workload (deterministic; always enforced);
 //   - enforced probes/sec floor on the PopulationCount hot path,
-//     relaxable with PCOR_RELAX_MILLION=1 for noisy/smoke environments.
+//     relaxable with PCOR_RELAX_MILLION=1 for noisy/smoke environments;
+//   - sharded scatter-gather speedup: single-caller probes/s through
+//     ShardedPopulationIndex at shard_count = ncores must be >= 1.5x the
+//     1-shard baseline on multi-core hosts (>= 4 cores; warned elsewhere),
+//     relaxable with PCOR_RELAX_MILLION=1.
 //
 // Before timing anything, every context's population count is
 // cross-checked dense-vs-compressed — a mismatch is an immediate non-zero
-// exit, so the throughput number can never come from a wrong kernel.
+// exit, so the throughput number can never come from a wrong kernel. The
+// sharded tier gets the same treatment at every shard count, and that
+// equivalence gate is never relaxed.
 //
 // Scaling knobs (CI smoke-runs at a fraction of the defaults):
 //   PCOR_MILLION_ROWS      dataset rows          (default 1,000,000)
@@ -28,6 +34,7 @@
 #include "src/common/threading.h"
 #include "src/context/detector_cache.h"
 #include "src/context/population_index.h"
+#include "src/context/sharded_population_index.h"
 #include "src/data/salary_generator.h"
 #include "src/outlier/detector.h"
 
@@ -209,6 +216,79 @@ int main() {
   std::printf("verifier cache: %zu hits / %zu misses (hit rate %.3f)\n",
               cache_stats.cache_hits, cache_stats.cache_misses, hit_rate);
 
+  // Sharded scatter-gather tier: the same PopulationCount workload issued
+  // from ONE caller thread through ShardedPopulationIndex, so the measured
+  // speedup is intra-probe parallelism (each probe scatters shard
+  // sub-probes across the index's pool), not batch fan-out. The 1-shard
+  // configuration is the baseline and carries the dispatch overhead of the
+  // same code path.
+  const size_t ncores = DefaultThreadCount();
+  std::vector<size_t> shard_tiers = {1};
+  if (ncores >= 4) shard_tiers.push_back(4);
+  if (ncores > 1 && ncores != 4) shard_tiers.push_back(ncores);
+  std::vector<size_t> expected_counts(contexts.size());
+  for (size_t i = 0; i < contexts.size(); ++i) {
+    expected_counts[i] = compressed.PopulationCount(contexts[i]);
+  }
+  struct ShardedResult {
+    size_t shards = 0;
+    double build_s = 0.0;
+    double probes = 0.0;
+    double wall_s = 0.0;
+    double probes_per_s = 0.0;
+  };
+  std::vector<ShardedResult> sharded_results;
+  for (size_t shard_count : shard_tiers) {
+    ShardedIndexOptions sharded_options;
+    sharded_options.shard_count = shard_count;
+    sharded_options.storage = IndexStorage::kCompressed;
+    sharded_options.probe_threads = threads;
+    t0 = Now();
+    const ShardedPopulationIndex sharded(dataset, sharded_options);
+    ShardedResult result;
+    result.shards = sharded.shard_count();
+    result.build_s = Now() - t0;
+    // Sharded equivalence gate — never relaxed: bit-identical counts at
+    // every shard count or the bench fails before timing anything.
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      if (sharded.PopulationCount(contexts[i]) != expected_counts[i]) {
+        ++mismatches;
+        std::printf("EQUIVALENCE MISMATCH sharded(%zu) count: %s\n",
+                    shard_count, contexts[i].ToBitString().c_str());
+      }
+    }
+    if (mismatches != 0) {
+      std::printf("FAILED: %zu sharded/unsharded mismatches\n", mismatches);
+      return 1;
+    }
+    size_t sharded_passes = 1;
+    double sharded_elapsed = 0.0;
+    while (true) {
+      t0 = Now();
+      for (size_t pass = 0; pass < sharded_passes; ++pass) {
+        for (const ContextVec& c : contexts) {
+          volatile size_t sink = sharded.PopulationCount(c);
+          (void)sink;
+        }
+      }
+      sharded_elapsed = Now() - t0;
+      if (sharded_elapsed >= 0.5 || sharded_passes >= 64) break;
+      sharded_passes *= 2;
+    }
+    result.probes = static_cast<double>(sharded_passes * contexts.size());
+    result.wall_s = sharded_elapsed;
+    result.probes_per_s = result.probes / sharded_elapsed;
+    std::printf(
+        "sharded hot path: %zu shards, build %.2fs, %.0f probes in %.2fs = "
+        "%.0f probes/s (x%.2f vs 1 shard)\n",
+        result.shards, result.build_s, result.probes, result.wall_s,
+        result.probes_per_s,
+        sharded_results.empty()
+            ? 1.0
+            : result.probes_per_s / sharded_results.front().probes_per_s);
+    sharded_results.push_back(result);
+  }
+
   BenchJsonEmitter emitter;
   emitter.Emit(strings::Format(
       "{\"bench\":\"million_rows\",\"rows\":%zu,\"contexts\":%zu,"
@@ -234,6 +314,22 @@ int main() {
       "\"misses\":%zu,\"hit_rate\":%.4f}",
       2 * cache_probes, cache_stats.cache_hits, cache_stats.cache_misses,
       hit_rate));
+  // The >=1.5x bar applies only where there are cores to scatter over;
+  // single- and dual-core hosts report the numbers without judging them.
+  const bool speedup_bar_applies = ncores >= 4 && sharded_results.size() > 1;
+  const double shard1_probes_per_s = sharded_results.front().probes_per_s;
+  const double sharded_speedup =
+      sharded_results.back().probes_per_s / shard1_probes_per_s;
+  for (const auto& r : sharded_results) {
+    emitter.Emit(strings::Format(
+        "{\"bench\":\"million_rows_sharded\",\"rows\":%zu,\"contexts\":%zu,"
+        "\"shards\":%zu,\"probe_threads\":%zu,\"probes\":%.0f,"
+        "\"wall_s\":%.4f,\"probes_per_s\":%.1f,\"build_s\":%.3f,"
+        "\"speedup_vs_1shard\":%.3f,\"bar_enforced\":%s}",
+        rows, num_contexts, r.shards, threads, r.probes, r.wall_s,
+        r.probes_per_s, r.build_s, r.probes_per_s / shard1_probes_per_s,
+        speedup_bar_applies && !relax ? "true" : "false"));
+  }
 
   bool failed = !emitter.ok();
   // Memory bar: deterministic, never relaxed. The whole point of the
@@ -253,6 +349,25 @@ int main() {
                   floor_probes_per_s);
       failed = true;
     }
+  }
+  if (!speedup_bar_applies) {
+    std::printf(
+        "sharded speedup bar: skipped (%zu cores; needs >= 4 to judge)\n",
+        ncores);
+  } else if (sharded_speedup < 1.5) {
+    if (relax) {
+      std::printf(
+          "WARNING: sharded speedup x%.2f below x1.50 "
+          "(relaxed by PCOR_RELAX_MILLION)\n",
+          sharded_speedup);
+    } else {
+      std::printf("FAILED: sharded speedup x%.2f below x1.50 at %zu shards\n",
+                  sharded_speedup, sharded_results.back().shards);
+      failed = true;
+    }
+  } else {
+    std::printf("sharded speedup: x%.2f at %zu shards (bar x1.50)\n",
+                sharded_speedup, sharded_results.back().shards);
   }
   std::printf("%s\n", failed ? "RESULT: FAIL" : "RESULT: OK");
   return failed ? 1 : 0;

@@ -28,7 +28,7 @@ size_t ApproxResultBytes(const std::vector<uint32_t>& outliers) {
 
 }  // namespace
 
-OutlierVerifier::OutlierVerifier(const PopulationIndex& index,
+OutlierVerifier::OutlierVerifier(const PopulationProbe& index,
                                  const OutlierDetector& detector,
                                  VerifierOptions options)
     : index_(&index),

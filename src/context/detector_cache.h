@@ -68,7 +68,7 @@ struct VerifierStats {
 /// harness shares one verifier across trial threads.
 class OutlierVerifier {
  public:
-  OutlierVerifier(const PopulationIndex& index,
+  OutlierVerifier(const PopulationProbe& index,
                   const OutlierDetector& detector,
                   VerifierOptions options = {});
 
@@ -80,7 +80,7 @@ class OutlierVerifier {
   std::shared_ptr<const std::vector<uint32_t>> OutliersInContext(
       const ContextVec& c) const;
 
-  const PopulationIndex& index() const { return *index_; }
+  const PopulationProbe& index() const { return *index_; }
   const OutlierDetector& detector() const { return *detector_; }
   const VerifierOptions& options() const { return options_; }
 
@@ -107,7 +107,7 @@ class OutlierVerifier {
 
   ResultPtr Compute(const ContextVec& c) const;
 
-  const PopulationIndex* index_;
+  const PopulationProbe* index_;
   const OutlierDetector* detector_;
   VerifierOptions options_;
 

@@ -35,11 +35,85 @@ IndexStorage DefaultIndexStorage() {
              : IndexStorage::kDense;
 }
 
+// ---- PopulationProbe: value-returning helpers shared by every
+// implementation, defined over the virtual probe core so single-box and
+// sharded indexes materialize identically. ----
+
+PopulationView PopulationProbe::ViewOf(const ContextVec& c,
+                                       PopulationScratch* scratch) const {
+  PopulationInto(c, &scratch->population, &scratch->attr_union);
+  scratch->row_ids.clear();
+  scratch->metric.clear();
+  const size_t count = scratch->population.Count();
+  scratch->row_ids.reserve(count);
+  scratch->metric.reserve(count);
+  const auto& metric = dataset().metric_column();
+  const uint32_t offset = row_offset();
+  scratch->population.ForEachSetBit([&](uint32_t row) {
+    scratch->row_ids.push_back(row);
+    scratch->metric.push_back(metric[offset + row]);
+  });
+  return PopulationView(&scratch->population, scratch->row_ids,
+                        scratch->metric);
+}
+
+BitVector PopulationProbe::PopulationOf(const ContextVec& c) const {
+  BitVector population;
+  BitVector attr_union;
+  PopulationInto(c, &population, &attr_union);
+  return population;
+}
+
+std::vector<uint32_t> PopulationProbe::RowIdsOf(const ContextVec& c) const {
+  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
+  return t_scratch.population.ToIndices();
+}
+
+std::vector<double> PopulationProbe::MetricOf(const ContextVec& c) const {
+  const PopulationView view = ViewOf(c, &t_scratch);
+  return std::vector<double>(view.metric().begin(), view.metric().end());
+}
+
+bool PopulationProbe::MetricWithTarget(const ContextVec& c, uint32_t v_row,
+                                       std::vector<double>* metric,
+                                       size_t* v_position) const {
+  metric->clear();
+  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
+  const BitVector& pop = t_scratch.population;
+  if (v_row >= pop.size() || !pop.Test(v_row)) return false;
+  metric->reserve(pop.Count());
+  const auto& column = dataset().metric_column();
+  const uint32_t offset = row_offset();
+  size_t pos = 0;
+  bool found = false;
+  pop.ForEachSetBit([&](uint32_t row) {
+    if (row == v_row) {
+      *v_position = pos;
+      found = true;
+    }
+    metric->push_back(column[offset + row]);
+    ++pos;
+  });
+  return found;
+}
+
 PopulationIndex::PopulationIndex(const Dataset& dataset, IndexStorage storage)
-    : dataset_(&dataset), storage_(storage) {
+    : PopulationIndex(dataset, storage, 0,
+                      static_cast<uint32_t>(dataset.num_rows())) {}
+
+PopulationIndex::PopulationIndex(const Dataset& dataset, IndexStorage storage,
+                                 uint32_t row_begin, uint32_t row_end)
+    : dataset_(&dataset),
+      storage_(storage),
+      row_begin_(row_begin),
+      num_local_rows_(row_end - row_begin) {
   const Schema& schema = dataset.schema();
   PCOR_CHECK(schema.total_values() <= ContextVec::kMaxBits)
       << "schema has more attribute values than ContextVec supports";
+  PCOR_CHECK(row_begin <= row_end && row_end <= dataset.num_rows())
+      << "row range outside dataset";
+  PCOR_CHECK(row_begin % 64 == 0)
+      << "shard row ranges must start word-aligned";
   const bool compressed = storage_ == IndexStorage::kCompressed;
   bitmaps_.resize(compressed ? 0 : schema.num_attributes());
   compressed_.resize(compressed ? schema.num_attributes() : 0);
@@ -49,10 +123,10 @@ PopulationIndex::PopulationIndex(const Dataset& dataset, IndexStorage storage)
   std::vector<BitVector> dense;
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
     dense.assign(schema.attribute(a).domain_size(),
-                 BitVector(dataset.num_rows()));
+                 BitVector(num_local_rows_));
     const auto& column = dataset.attribute_column(a);
-    for (size_t row = 0; row < column.size(); ++row) {
-      dense[column[row]].Set(row);
+    for (size_t row = row_begin; row < row_end; ++row) {
+      dense[column[row]].Set(row - row_begin);
     }
     if (compressed) {
       compressed_[a].reserve(dense.size());
@@ -111,8 +185,8 @@ void PopulationIndex::PopulationIntoDense(const ContextVec& c,
                                           BitVector* population,
                                           BitVector* attr_union) const {
   const Schema& schema = dataset_->schema();
-  population->Assign(dataset_->num_rows(), true);
-  attr_union->Assign(dataset_->num_rows(), false);
+  population->Assign(num_local_rows_, true);
+  attr_union->Assign(num_local_rows_, false);
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
     attr_union->FillAll(false);
     const size_t off = schema.value_offset(a);
@@ -136,7 +210,7 @@ void PopulationIndex::PopulationIntoCompressed(const ContextVec& c,
                                                BitVector* population,
                                                BitVector* attr_union) const {
   const Schema& schema = dataset_->schema();
-  population->Assign(dataset_->num_rows(), true);
+  population->Assign(num_local_rows_, true);
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
     const size_t off = schema.value_offset(a);
     const size_t domain = schema.attribute(a).domain_size();
@@ -156,7 +230,7 @@ void PopulationIndex::PopulationIntoCompressed(const ContextVec& c,
       // population, skipping the union accumulator entirely.
       compressed_[a][single].AndIntoDense(population);
     } else {
-      attr_union->Assign(dataset_->num_rows(), false);
+      attr_union->Assign(num_local_rows_, false);
       for (size_t v = 0; v < domain; ++v) {
         if (c.Test(off + v)) compressed_[a][v].OrIntoDense(attr_union);
       }
@@ -164,30 +238,6 @@ void PopulationIndex::PopulationIntoCompressed(const ContextVec& c,
     }
     if (population->NoneSet()) return;
   }
-}
-
-PopulationView PopulationIndex::ViewOf(const ContextVec& c,
-                                       PopulationScratch* scratch) const {
-  PopulationInto(c, &scratch->population, &scratch->attr_union);
-  scratch->row_ids.clear();
-  scratch->metric.clear();
-  const size_t count = scratch->population.Count();
-  scratch->row_ids.reserve(count);
-  scratch->metric.reserve(count);
-  const auto& metric = dataset_->metric_column();
-  scratch->population.ForEachSetBit([&](uint32_t row) {
-    scratch->row_ids.push_back(row);
-    scratch->metric.push_back(metric[row]);
-  });
-  return PopulationView(&scratch->population, scratch->row_ids,
-                        scratch->metric);
-}
-
-BitVector PopulationIndex::PopulationOf(const ContextVec& c) const {
-  BitVector population;
-  BitVector attr_union;
-  PopulationInto(c, &population, &attr_union);
-  return population;
 }
 
 size_t PopulationIndex::PopulationCount(const ContextVec& c) const {
@@ -213,7 +263,7 @@ size_t PopulationIndex::PopulationCount(const ContextVec& c) const {
     }
     if (all_single) {
       const size_t num_attrs = schema.num_attributes();
-      if (num_attrs == 0) return dataset_->num_rows();
+      if (num_attrs == 0) return num_local_rows_;
       const CompressedBitmap* first = &compressed_[0][singles[0]];
       if (num_attrs == 1) return first->count();
       if (num_attrs == 2) {
@@ -251,38 +301,6 @@ size_t PopulationIndex::OverlapCount(const ContextVec& c1,
   PopulationInto(c1, &t_overlap, &t_scratch.attr_union);
   PopulationInto(c2, &t_scratch.population, &t_scratch.attr_union);
   return t_overlap.AndCount(t_scratch.population);
-}
-
-std::vector<uint32_t> PopulationIndex::RowIdsOf(const ContextVec& c) const {
-  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
-  return t_scratch.population.ToIndices();
-}
-
-std::vector<double> PopulationIndex::MetricOf(const ContextVec& c) const {
-  const PopulationView view = ViewOf(c, &t_scratch);
-  return std::vector<double>(view.metric().begin(), view.metric().end());
-}
-
-bool PopulationIndex::MetricWithTarget(const ContextVec& c, uint32_t v_row,
-                                       std::vector<double>* metric,
-                                       size_t* v_position) const {
-  metric->clear();
-  PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
-  const BitVector& pop = t_scratch.population;
-  if (v_row >= pop.size() || !pop.Test(v_row)) return false;
-  metric->reserve(pop.Count());
-  const auto& column = dataset_->metric_column();
-  size_t pos = 0;
-  bool found = false;
-  pop.ForEachSetBit([&](uint32_t row) {
-    if (row == v_row) {
-      *v_position = pos;
-      found = true;
-    }
-    metric->push_back(column[row]);
-    ++pos;
-  });
-  return found;
 }
 
 const BitVector& PopulationIndex::ValueBitmap(size_t attr,

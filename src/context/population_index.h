@@ -68,6 +68,79 @@ class PopulationView {
   std::span<const double> metric_;
 };
 
+/// \brief Probe interface over a population store: everything the verifier,
+/// utilities and context-space algorithms need from "the index", abstracted
+/// so the single-box PopulationIndex and the row-sharded
+/// ShardedPopulationIndex interchange freely. Implementations must be
+/// bit-identical to each other on every probe — the equivalence fuzz suites
+/// enforce it; virtual dispatch costs nanoseconds against probes that walk
+/// O(rows/64) words minimum.
+///
+/// The value-returning helpers (PopulationOf, RowIdsOf, MetricOf,
+/// MetricWithTarget, ViewOf) are defined once here over the virtual core,
+/// so every implementation inherits identical materialization behavior.
+class PopulationProbe {
+ public:
+  virtual ~PopulationProbe() = default;
+
+  /// \brief The full backing dataset (shards report their slice through
+  /// num_rows(), never through a narrowed dataset).
+  virtual const Dataset& dataset() const = 0;
+  const Schema& schema() const { return dataset().schema(); }
+  /// \brief Rows this probe spans — the local row space of its bitmaps.
+  virtual size_t num_rows() const = 0;
+  virtual IndexStorage storage() const = 0;
+
+  /// \brief Heap footprint of the value bitmaps plus (for compressed
+  /// storage) the container census.
+  virtual PopulationIndexStats MemoryStats() const = 0;
+
+  /// \brief Fills `*population` with the bitmap of rows selected by `c`,
+  /// using `*attr_union` as scratch. Allocation-free once the two
+  /// BitVectors have reached dataset size. The contents of `*attr_union`
+  /// after the call are unspecified (it is an accumulator, not an output).
+  virtual void PopulationInto(const ContextVec& c, BitVector* population,
+                              BitVector* attr_union) const = 0;
+
+  /// \brief |D_C| without materializing row ids.
+  virtual size_t PopulationCount(const ContextVec& c) const = 0;
+
+  /// \brief |D_C1 ∩ D_C2| — the paper's overlap utility numerator.
+  virtual size_t OverlapCount(const ContextVec& c1,
+                              const ContextVec& c2) const = 0;
+
+  /// \brief Bitmap of rows matching attribute value (attr, value) — exposed
+  /// for tests and micro-benchmarks. May be materialized into a
+  /// thread_local buffer; the reference is invalidated by the next
+  /// ValueBitmap call on the same thread.
+  virtual const BitVector& ValueBitmap(size_t attr, size_t value) const = 0;
+
+  /// \brief Materializes D_C (bitmap, row ids, metric values) into
+  /// `*scratch` and returns a view over it — the zero-allocation probe.
+  PopulationView ViewOf(const ContextVec& c, PopulationScratch* scratch) const;
+
+  /// \brief Bitmap of rows selected by context `c`.
+  BitVector PopulationOf(const ContextVec& c) const;
+
+  /// \brief Row ids selected by `c`, ascending (local row space).
+  std::vector<uint32_t> RowIdsOf(const ContextVec& c) const;
+
+  /// \brief Metric values of the population, aligned with RowIdsOf order.
+  std::vector<double> MetricOf(const ContextVec& c) const;
+
+  /// \brief Metric values plus the position of row `v_row` inside them.
+  /// Returns false when `v_row` is not in the population.
+  bool MetricWithTarget(const ContextVec& c, uint32_t v_row,
+                        std::vector<double>* metric,
+                        size_t* v_position) const;
+
+ protected:
+  /// \brief Offset from this probe's local row 0 into the dataset's global
+  /// row ids — nonzero only for row-range shards, where local bitmap bit i
+  /// is dataset row row_offset() + i (used for metric lookups).
+  virtual uint32_t row_offset() const { return 0; }
+};
+
 /// \brief Bitmap index mapping contexts to their populations.
 ///
 /// For each (attribute, value) pair the index holds one BitVector over the
@@ -91,56 +164,38 @@ class PopulationView {
 /// additionally exploits that value bitmaps within an attribute partition
 /// the rows, so D_C1 ∩ D_C2 equals the population of the bitwise-AND
 /// merged context.
-class PopulationIndex {
+class PopulationIndex : public PopulationProbe {
  public:
   explicit PopulationIndex(const Dataset& dataset,
                            IndexStorage storage = DefaultIndexStorage());
 
-  const Dataset& dataset() const { return *dataset_; }
-  const Schema& schema() const { return dataset_->schema(); }
-  size_t num_rows() const { return dataset_->num_rows(); }
-  IndexStorage storage() const { return storage_; }
+  /// \brief Row-range shard constructor: indexes only dataset rows
+  /// [row_begin, row_end), stored in a local row space where bit i means
+  /// dataset row row_begin + i. All probes answer in the local row space;
+  /// ShardedPopulationIndex owns the global reassembly. `row_begin` must
+  /// be word-aligned (a multiple of 64) so shard populations concatenate
+  /// word-wise into global bitmaps.
+  PopulationIndex(const Dataset& dataset, IndexStorage storage,
+                  uint32_t row_begin, uint32_t row_end);
 
-  /// \brief Heap footprint of the value bitmaps plus (for compressed
-  /// storage) the container census.
-  PopulationIndexStats MemoryStats() const;
+  const Dataset& dataset() const override { return *dataset_; }
+  size_t num_rows() const override { return num_local_rows_; }
+  IndexStorage storage() const override { return storage_; }
 
-  /// \brief Fills `*population` with the bitmap of rows selected by `c`,
-  /// using `*attr_union` as the per-attribute accumulator. Allocation-free
-  /// once the two BitVectors have reached dataset size.
+  PopulationIndexStats MemoryStats() const override;
+
   void PopulationInto(const ContextVec& c, BitVector* population,
-                      BitVector* attr_union) const;
+                      BitVector* attr_union) const override;
 
-  /// \brief Materializes D_C (bitmap, row ids, metric values) into
-  /// `*scratch` and returns a view over it — the zero-allocation probe.
-  PopulationView ViewOf(const ContextVec& c, PopulationScratch* scratch) const;
+  size_t PopulationCount(const ContextVec& c) const override;
 
-  /// \brief Bitmap of rows selected by context `c`.
-  BitVector PopulationOf(const ContextVec& c) const;
+  size_t OverlapCount(const ContextVec& c1,
+                      const ContextVec& c2) const override;
 
-  /// \brief |D_C| without materializing row ids.
-  size_t PopulationCount(const ContextVec& c) const;
+  const BitVector& ValueBitmap(size_t attr, size_t value) const override;
 
-  /// \brief |D_C1 ∩ D_C2| — the paper's overlap utility numerator.
-  size_t OverlapCount(const ContextVec& c1, const ContextVec& c2) const;
-
-  /// \brief Row ids selected by `c`, ascending.
-  std::vector<uint32_t> RowIdsOf(const ContextVec& c) const;
-
-  /// \brief Metric values of the population, aligned with RowIdsOf order.
-  std::vector<double> MetricOf(const ContextVec& c) const;
-
-  /// \brief Metric values plus the position of row `v_row` inside them.
-  /// Returns false when `v_row` is not in the population.
-  bool MetricWithTarget(const ContextVec& c, uint32_t v_row,
-                        std::vector<double>* metric,
-                        size_t* v_position) const;
-
-  /// \brief Bitmap of rows matching attribute value (attr, value) — exposed
-  /// for tests and micro-benchmarks. For compressed storage the bitmap is
-  /// materialized into a thread_local buffer; the reference is invalidated
-  /// by the next ValueBitmap call on the same thread.
-  const BitVector& ValueBitmap(size_t attr, size_t value) const;
+ protected:
+  uint32_t row_offset() const override { return row_begin_; }
 
  private:
   void PopulationIntoDense(const ContextVec& c, BitVector* population,
@@ -153,8 +208,11 @@ class PopulationIndex {
 
   const Dataset* dataset_;
   IndexStorage storage_;
+  uint32_t row_begin_ = 0;       // first dataset row this index covers
+  size_t num_local_rows_ = 0;    // rows covered: [row_begin_, row_begin_+n)
   // Exactly one of the two stores is populated, per storage_.
-  // bitmaps_[attr][value] = rows where dataset.code(row, attr) == value.
+  // bitmaps_[attr][value] = local rows where
+  // dataset.code(row_begin_ + row, attr) == value.
   std::vector<std::vector<BitVector>> bitmaps_;
   std::vector<std::vector<CompressedBitmap>> compressed_;
 };

@@ -1,0 +1,139 @@
+#include "src/context/sharded_population_index.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+namespace {
+// Per-worker scratch for shard sub-probes. Each shard task fills it and
+// copies the words out before returning, so a worker reusing it across
+// tasks (even tasks from concurrent gathers) can never mix results.
+thread_local PopulationScratch t_shard_scratch;
+}  // namespace
+
+size_t DefaultShardCount(size_t num_rows) {
+  const size_t pinned = strings::EnvSizeOr("PCOR_SHARD_COUNT", 0);
+  if (pinned != 0) return std::min(pinned, kMaxShardCount);
+  const size_t by_rows = std::max<size_t>(num_rows / kMinRowsPerShard, 1);
+  return std::min({DefaultThreadCount(), by_rows, kMaxShardCount});
+}
+
+ShardedPopulationIndex::ShardedPopulationIndex(const Dataset& dataset,
+                                               ShardedIndexOptions options)
+    : dataset_(&dataset), storage_(options.storage) {
+  probe_threads_ = options.probe_threads == 0 ? DefaultThreadCount()
+                                              : options.probe_threads;
+  const size_t num_rows = dataset.num_rows();
+  size_t shards = options.shard_count == 0 ? DefaultShardCount(num_rows)
+                                           : options.shard_count;
+  shards = std::min(std::max<size_t>(shards, 1), kMaxShardCount);
+  // Boundaries are the even split rounded down to a word multiple, a pure
+  // function of (num_rows, shards). Rounding can make leading shards empty
+  // on tiny datasets (rows < shards*64); empty shards probe correctly and
+  // contribute zero rows, so the layout stays valid rather than special-
+  // cased.
+  shard_begin_.reserve(shards + 1);
+  for (size_t s = 0; s < shards; ++s) {
+    shard_begin_.push_back(
+        static_cast<uint32_t>((s * num_rows / shards) & ~size_t{63}));
+  }
+  shard_begin_.push_back(static_cast<uint32_t>(num_rows));
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<PopulationIndex>(
+        dataset, storage_, shard_begin_[s], shard_begin_[s + 1]));
+  }
+}
+
+ThreadPool* ShardedPopulationIndex::probe_pool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(probe_threads_);
+  return pool_.get();
+}
+
+void ShardedPopulationIndex::RunOverShards(
+    const std::function<void(size_t)>& fn) const {
+  const size_t n = shards_.size();
+  if (n == 1 || probe_threads_ <= 1) {
+    for (size_t s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  probe_pool()->ParallelFor(n, probe_threads_, fn);
+}
+
+PopulationIndexStats ShardedPopulationIndex::MemoryStats() const {
+  PopulationIndexStats stats;
+  for (const auto& shard : shards_) {
+    const PopulationIndexStats s = shard->MemoryStats();
+    stats.bitmap_bytes += s.bitmap_bytes;
+    stats.empty_chunks += s.empty_chunks;
+    stats.array_chunks += s.array_chunks;
+    stats.dense_chunks += s.dense_chunks;
+  }
+  return stats;
+}
+
+void ShardedPopulationIndex::PopulationInto(const ContextVec& c,
+                                            BitVector* population,
+                                            BitVector* attr_union) const {
+  if (shards_.size() == 1) {
+    // One shard covers [0, num_rows) in an identical layout — delegate.
+    shards_[0]->PopulationInto(c, population, attr_union);
+    return;
+  }
+  population->Assign(num_rows(), false);
+  attr_union->Assign(num_rows(), false);
+  RunOverShards([&](size_t s) {
+    shards_[s]->PopulationInto(c, &t_shard_scratch.population,
+                               &t_shard_scratch.attr_union);
+    // Boundaries are word-aligned, so the shard's local words land in a
+    // word range no other shard writes: a straight copy, no shifting, no
+    // races. A non-final shard spans a word multiple exactly; the final
+    // shard's tail word has its pad bits zero (BitVector invariant), which
+    // matches the global bitmap's own tail.
+    std::copy_n(t_shard_scratch.population.data(),
+                t_shard_scratch.population.num_words(),
+                population->mutable_data() + shard_begin_[s] / 64);
+  });
+}
+
+size_t ShardedPopulationIndex::PopulationCount(const ContextVec& c) const {
+  size_t counts[kMaxShardCount];
+  RunOverShards([&](size_t s) { counts[s] = shards_[s]->PopulationCount(c); });
+  // Gather in ascending shard order. Integer sums over disjoint row ranges
+  // are order-insensitive anyway; the fixed order is the uniform canonical-
+  // merge discipline every gather in this class follows.
+  size_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) total += counts[s];
+  return total;
+}
+
+size_t ShardedPopulationIndex::OverlapCount(const ContextVec& c1,
+                                            const ContextVec& c2) const {
+  size_t counts[kMaxShardCount];
+  RunOverShards(
+      [&](size_t s) { counts[s] = shards_[s]->OverlapCount(c1, c2); });
+  size_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) total += counts[s];
+  return total;
+}
+
+const BitVector& ShardedPopulationIndex::ValueBitmap(size_t attr,
+                                                     size_t value) const {
+  thread_local BitVector t_concat;
+  t_concat.Assign(num_rows(), false);
+  // Serial: this is a test/bench accessor, not a hot probe — and each
+  // shard's compressed ValueBitmap materializes into a shared thread_local,
+  // so the copy must complete before the next shard's call overwrites it.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const BitVector& local = shards_[s]->ValueBitmap(attr, value);
+    std::copy_n(local.data(), local.num_words(),
+                t_concat.mutable_data() + shard_begin_[s] / 64);
+  }
+  return t_concat;
+}
+
+}  // namespace pcor

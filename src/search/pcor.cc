@@ -30,9 +30,10 @@ Status ValidatePcorOptions(const PcorOptions& options) {
 
 PcorEngine::PcorEngine(const Dataset& dataset,
                        const OutlierDetector& detector,
-                       VerifierOptions verifier_options)
+                       VerifierOptions verifier_options,
+                       ShardedIndexOptions index_options)
     : dataset_(&dataset),
-      index_(dataset),
+      index_(dataset, index_options),
       verifier_(index_, detector, verifier_options) {}
 
 Result<PcorRelease> PcorEngine::Release(uint32_t v_row,
@@ -103,9 +104,24 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
                         sampler->Sample(request, rng));
 
   // Final Exponential-mechanism draw over the collected candidates.
+  // Scoring is free of randomness (every Rng draw happened in the sampler)
+  // and each candidate writes only its own slot, so the loop parallelizes
+  // over the index's probe pool without perturbing the draw — scores, and
+  // therefore the released context, are bit-identical for any thread count.
   std::vector<double> scores(outcome.samples.size());
-  for (size_t i = 0; i < outcome.samples.size(); ++i) {
-    scores[i] = utility.Score(outcome.samples[i], v_row);
+  const size_t score_threads = options.intra_release_threads == 0
+                                   ? DefaultThreadCount()
+                                   : options.intra_release_threads;
+  if (score_threads > 1 && scores.size() > 1) {
+    index_.probe_pool()->ParallelFor(scores.size(), score_threads,
+                                     [&](size_t i) {
+                                       scores[i] = utility.Score(
+                                           outcome.samples[i], v_row);
+                                     });
+  } else {
+    for (size_t i = 0; i < outcome.samples.size(); ++i) {
+      scores[i] = utility.Score(outcome.samples[i], v_row);
+    }
   }
   ExponentialMechanism mech(eps1, utility.sensitivity());
   PCOR_ASSIGN_OR_RETURN(size_t pick, mech.Choose(scores, rng));

@@ -9,6 +9,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/context/population_index.h"
+#include "src/context/sharded_population_index.h"
 #include "src/context/starting_context.h"
 #include "src/data/dataset.h"
 #include "src/dp/budget.h"
@@ -35,6 +36,14 @@ struct PcorOptions {
   StartingContextOptions starting_context;
   /// Probe cap forwarded to the sampler.
   size_t max_probes = 20'000'000;
+  /// Threads used *inside* this one release for the candidate-scoring loop
+  /// (1 = serial, the default; 0 = all cores). Purely a latency knob: the
+  /// Rng draws all happen in the sampler and each candidate's score lands
+  /// in its own result slot, so the released context is bit-identical for
+  /// any value — enforced by the intra-release parallelism tests. Raise it
+  /// when micro-batches are shallow (one tenant, one huge request) and
+  /// batch-level fan-out leaves cores idle; see ServeOptions.
+  size_t intra_release_threads = 1;
 
   /// Memberwise equality; the batch/serving layers use it to recognize
   /// entries that share a configuration (homogeneous sub-batches).
@@ -146,8 +155,14 @@ struct BatchReleaseReport {
 /// calls with distinct Rngs.
 class PcorEngine {
  public:
+  /// \brief Builds the engine's row-sharded population index per
+  /// `index_options` (shard count, storage, probe threads). The default
+  /// resolves shard count from PCOR_SHARD_COUNT / DefaultShardCount(), so
+  /// existing callers transparently gain sharding on large datasets while
+  /// small ones stay single-shard.
   PcorEngine(const Dataset& dataset, const OutlierDetector& detector,
-             VerifierOptions verifier_options = {});
+             VerifierOptions verifier_options = {},
+             ShardedIndexOptions index_options = {});
 
   /// \brief Releases a private valid context for row `v_row`.
   ///
@@ -202,12 +217,12 @@ class PcorEngine {
   }
 
   const Dataset& dataset() const { return *dataset_; }
-  const PopulationIndex& population_index() const { return index_; }
+  const ShardedPopulationIndex& population_index() const { return index_; }
   const OutlierVerifier& verifier() const { return verifier_; }
 
  private:
   const Dataset* dataset_;
-  PopulationIndex index_;
+  ShardedPopulationIndex index_;
   OutlierVerifier verifier_;
 };
 

@@ -66,6 +66,12 @@ struct ServeOptions {
   size_t queue_capacity = 1024;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Worker threads each micro-batch fans out over (0 = all cores).
+  /// Trades against `release.intra_release_threads`: deep micro-batches
+  /// want cores spent here (entry-level fan-out), while a shallow batch —
+  /// one tenant, one huge request, the tail-latency case — wants
+  /// release_threads small and intra_release_threads raised so the lone
+  /// release's scoring loop owns the cores instead. Neither knob can
+  /// perturb any released context; both are latency-only.
   size_t release_threads = 0;
   /// Server seed: every request's Rng stream derives from
   /// (seed, client_id, the client's own submission index) — never from the

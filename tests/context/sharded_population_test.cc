@@ -1,0 +1,225 @@
+// Exact-equivalence fuzz between ShardedPopulationIndex and the unsharded
+// PopulationIndex — the sharding tentpole's correctness bar, mirroring
+// population_equivalence_test.cc: on the same dataset and storage, every
+// probe (PopulationInto, PopulationCount, OverlapCount, RowIdsOf, MetricOf,
+// MetricWithTarget, ViewOf, ValueBitmap) must be bit-identical for shard
+// counts 1/2/7/64, dense and compressed storage alike. Random contexts are
+// joined by the degenerate shapes (empty context, full context, one empty
+// attribute, all-singleton exact contexts) whose populations straddle every
+// shard boundary on the multi-chunk salary dataset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/context/sharded_population_index.h"
+#include "src/data/salary_generator.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+ContextVec RandomContext(const Schema& schema, double density, Rng* rng) {
+  ContextVec c(schema.total_values());
+  for (size_t bit = 0; bit < c.num_bits(); ++bit) {
+    if (rng->NextBernoulli(density)) c.Set(bit);
+  }
+  return c;
+}
+
+ContextVec RandomSingletonContext(const Schema& schema, Rng* rng) {
+  ContextVec c(schema.total_values());
+  size_t base = 0;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const size_t domain = schema.attribute(a).domain_size();
+    c.Set(base + rng->NextBounded(domain));
+    base += domain;
+  }
+  return c;
+}
+
+std::vector<ContextVec> FuzzContexts(const Schema& schema, uint64_t seed,
+                                     int num_trials) {
+  Rng rng(seed);
+  std::vector<ContextVec> contexts;
+  contexts.push_back(ContextVec(schema.total_values()));  // no bits chosen
+  contexts.push_back(context_ops::FullContext(schema));
+  {
+    ContextVec one_empty_attr = context_ops::FullContext(schema);
+    const size_t domain0 = schema.attribute(0).domain_size();
+    for (size_t v = 0; v < domain0; ++v) one_empty_attr.Clear(v);
+    contexts.push_back(one_empty_attr);  // selects nothing
+  }
+  for (int t = 0; t < num_trials; ++t) {
+    contexts.push_back(RandomContext(schema, 0.5, &rng));
+    contexts.push_back(RandomContext(schema, 0.15, &rng));
+    contexts.push_back(RandomSingletonContext(schema, &rng));
+  }
+  return contexts;
+}
+
+void ExpectShardingAgrees(const Dataset& dataset, IndexStorage storage,
+                          size_t shard_count, uint64_t seed, int num_trials) {
+  SCOPED_TRACE(::testing::Message()
+               << "shards=" << shard_count << " storage="
+               << (storage == IndexStorage::kDense ? "dense" : "compressed"));
+  const PopulationIndex reference(dataset, storage);
+  ShardedIndexOptions options;
+  options.shard_count = shard_count;
+  options.storage = storage;
+  const ShardedPopulationIndex sharded(dataset, options);
+  ASSERT_EQ(sharded.storage(), storage);
+  ASSERT_EQ(sharded.num_rows(), dataset.num_rows());
+  ASSERT_EQ(sharded.shard_count(),
+            std::min(shard_count, kMaxShardCount));
+
+  // Layout invariants: word-aligned ascending boundaries covering exactly
+  // [0, num_rows), with shard row spans matching each shard's own view.
+  for (size_t s = 0; s < sharded.shard_count(); ++s) {
+    EXPECT_EQ(sharded.shard_begin(s) % 64, 0u) << "shard " << s;
+    ASSERT_LE(sharded.shard_begin(s), sharded.shard_begin(s + 1));
+    EXPECT_EQ(sharded.shard(s).num_rows(),
+              sharded.shard_begin(s + 1) - sharded.shard_begin(s));
+  }
+  EXPECT_EQ(sharded.shard_begin(0), 0u);
+  EXPECT_EQ(sharded.shard_begin(sharded.shard_count()), dataset.num_rows());
+
+  const std::vector<ContextVec> contexts =
+      FuzzContexts(dataset.schema(), seed, num_trials);
+  BitVector ref_bits, sharded_bits, ref_union, sharded_union;
+  PopulationScratch ref_scratch, sharded_scratch;
+  for (const ContextVec& c : contexts) {
+    reference.PopulationInto(c, &ref_bits, &ref_union);
+    sharded.PopulationInto(c, &sharded_bits, &sharded_union);
+    ASSERT_EQ(ref_bits, sharded_bits) << c.ToBitString();
+    EXPECT_EQ(reference.PopulationCount(c), sharded.PopulationCount(c))
+        << c.ToBitString();
+    EXPECT_EQ(reference.RowIdsOf(c), sharded.RowIdsOf(c)) << c.ToBitString();
+    EXPECT_EQ(reference.MetricOf(c), sharded.MetricOf(c)) << c.ToBitString();
+    const PopulationView ref_view = reference.ViewOf(c, &ref_scratch);
+    const PopulationView sharded_view = sharded.ViewOf(c, &sharded_scratch);
+    ASSERT_EQ(ref_view.population(), sharded_view.population());
+    ASSERT_TRUE(std::equal(ref_view.row_ids().begin(),
+                           ref_view.row_ids().end(),
+                           sharded_view.row_ids().begin(),
+                           sharded_view.row_ids().end()));
+    ASSERT_TRUE(std::equal(ref_view.metric().begin(), ref_view.metric().end(),
+                           sharded_view.metric().begin(),
+                           sharded_view.metric().end()));
+  }
+  for (size_t i = 0; i + 1 < contexts.size(); i += 2) {
+    EXPECT_EQ(reference.OverlapCount(contexts[i], contexts[i + 1]),
+              sharded.OverlapCount(contexts[i], contexts[i + 1]))
+        << contexts[i].ToBitString() << " x " << contexts[i + 1].ToBitString();
+  }
+  // MetricWithTarget across shard boundaries: rows at word boundaries and a
+  // few random rows, probed under the full context (population = all rows).
+  const ContextVec full = context_ops::FullContext(dataset.schema());
+  Rng row_rng(seed ^ 0xabcdefULL);
+  std::vector<uint32_t> rows = {0,
+                                static_cast<uint32_t>(dataset.num_rows() - 1)};
+  for (size_t s = 1; s < sharded.shard_count(); ++s) {
+    const uint32_t begin = sharded.shard_begin(s);
+    if (begin > 0) rows.push_back(begin - 1);
+    if (begin < dataset.num_rows()) rows.push_back(begin);
+  }
+  for (int t = 0; t < 8; ++t) {
+    rows.push_back(static_cast<uint32_t>(
+        row_rng.NextBounded(dataset.num_rows())));
+  }
+  std::vector<double> ref_metric, sharded_metric;
+  for (uint32_t row : rows) {
+    size_t ref_pos = 0, sharded_pos = 0;
+    const bool ref_found =
+        reference.MetricWithTarget(full, row, &ref_metric, &ref_pos);
+    const bool sharded_found =
+        sharded.MetricWithTarget(full, row, &sharded_metric, &sharded_pos);
+    ASSERT_EQ(ref_found, sharded_found) << "row " << row;
+    if (ref_found) {
+      EXPECT_EQ(ref_pos, sharded_pos) << "row " << row;
+      EXPECT_EQ(ref_metric, sharded_metric) << "row " << row;
+    }
+  }
+  for (size_t a = 0; a < dataset.schema().num_attributes(); ++a) {
+    for (size_t v = 0; v < dataset.schema().attribute(a).domain_size(); ++v) {
+      ASSERT_EQ(reference.ValueBitmap(a, v), sharded.ValueBitmap(a, v))
+          << "attr " << a << " value " << v;
+    }
+  }
+  // Sum of shard footprints equals a shard-wise decomposition — at minimum
+  // the dense accounting must match the reference exactly, since dense
+  // bytes depend only on (rows, domains) and boundaries are word-aligned.
+  if (storage == IndexStorage::kDense) {
+    EXPECT_EQ(sharded.MemoryStats().bitmap_bytes,
+              reference.MemoryStats().bitmap_bytes);
+  }
+}
+
+class ShardedPopulationTest
+    : public ::testing::TestWithParam<std::tuple<IndexStorage, size_t>> {};
+
+TEST_P(ShardedPopulationTest, GridDatasetAgreesOnEveryProbe) {
+  // 37 rows across up to 64 shards: all but the last shard round down to
+  // row 0, so most shards are empty — the degenerate-layout path.
+  const auto [storage, shards] = GetParam();
+  ExpectShardingAgrees(testing_util::MakeSpreadGridDataset().dataset, storage,
+                       shards, /*seed=*/17, /*num_trials=*/40);
+}
+
+TEST_P(ShardedPopulationTest, MultiChunkSalaryDatasetAgreesOnEveryProbe) {
+  // 80k rows: shard boundaries fall inside compression chunks and every
+  // random population straddles all of them.
+  const auto [storage, shards] = GetParam();
+  SalaryDatasetSpec spec;
+  spec.num_rows = 80'000;
+  spec.num_jobs = 16;
+  spec.num_employers = 12;
+  spec.num_years = 8;
+  spec.seed = 4242;
+  auto generated = GenerateSalaryDataset(spec);
+  ASSERT_TRUE(generated.ok());
+  ExpectShardingAgrees(generated->dataset, storage, shards, /*seed=*/19,
+                       /*num_trials=*/6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, ShardedPopulationTest,
+    ::testing::Combine(::testing::Values(IndexStorage::kDense,
+                                         IndexStorage::kCompressed),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{7},
+                                         size_t{64})),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == IndexStorage::kDense
+                             ? "dense"
+                             : "compressed") +
+             "_shards" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DefaultShardCountTest, TinyDatasetsDefaultToOneShard) {
+  // Without the env pin, the rows heuristic keeps sub-64Ki datasets on a
+  // single shard regardless of core count (sharding them is pure dispatch
+  // overhead).
+  if (strings::EnvSizeOr("PCOR_SHARD_COUNT", 0) != 0) {
+    GTEST_SKIP() << "PCOR_SHARD_COUNT pins the default";
+  }
+  EXPECT_EQ(DefaultShardCount(1000), 1u);
+  EXPECT_EQ(DefaultShardCount(kMinRowsPerShard - 1), 1u);
+  EXPECT_LE(DefaultShardCount(size_t{10} * 1024 * 1024), kMaxShardCount);
+}
+
+TEST(DefaultShardCountTest, ExplicitOptionIsHonoredExactly) {
+  // Explicit shard_count bypasses both the env pin and the rows heuristic;
+  // this is how tests force multi-shard layouts onto tiny datasets.
+  auto grid = testing_util::MakeGridDataset();
+  ShardedIndexOptions options;
+  options.shard_count = 5;
+  const ShardedPopulationIndex index(grid.dataset, options);
+  EXPECT_EQ(index.shard_count(), 5u);
+}
+
+}  // namespace
+}  // namespace pcor
