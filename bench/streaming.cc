@@ -1,0 +1,174 @@
+// Streaming PCOR bench: epoch-snapshotted appends plus tree-aggregated
+// continual release over the reduced salary workload.
+//
+// Three phases, one BENCH_JSON line each:
+//   * `streaming_append` — stream the whole dataset through Append,
+//     sealing every PCOR_STREAM_SEAL_EVERY rows; appends/s INCLUDES the
+//     periodic copy-on-seal index rebuilds (the honest cost of the
+//     current seal path — see docs/streaming.md).
+//   * `streaming_release` — T = PCOR_STREAM_RELEASES continual releases
+//     against the sealed tip via ReleaseAsOfNow, reporting releases/s and
+//     the memo invalidation count.
+//   * `streaming_epsilon` — the accountant's tree-composed cumulative vs
+//     the naive T-fresh-budgets baseline and their ratio.
+//
+// Enforced acceptance bars (exit non-zero on violation):
+//   * every sealed row lands: the final epoch equals the dataset size;
+//   * every continual release succeeds (the planted outliers verify at
+//     the tip epoch);
+//   * NEVER RELAXED: for T >= 4 the tree-composed epsilon is strictly
+//     below the naive per-release sum, and matches
+//     TreeAccountant::CumulativeFor exactly. No PCOR_RELAX_* var waives
+//     this — it is arithmetic, not timing.
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "src/common/simd.h"
+#include "src/common/timer.h"
+#include "src/search/streaming.h"
+
+using namespace pcor;
+using namespace pcor::bench;
+
+int main() {
+  BenchEnv env = ReadBenchEnv(/*default_scale=*/0.2);
+  PrintEnv(env,
+           "streaming PCOR: epoch-snapshotted appends + tree-aggregated "
+           "continual release (BFS, eps=0.2, n=20, lof detector)");
+
+  auto setup = MakeSalarySetup(env, "lof");
+  if (!setup) return 1;
+  const Dataset& full = setup->workload.data.dataset;
+
+  const size_t seal_every =
+      std::max<size_t>(64, strings::EnvSizeOr("PCOR_STREAM_SEAL_EVERY", 2048));
+  const size_t releases_target = std::max<size_t>(
+      8, strings::EnvSizeOr("PCOR_STREAM_RELEASES", 4 * env.reps));
+
+  PcorOptions release;
+  release.sampler = SamplerKind::kBfs;
+  release.num_samples = 20;
+  release.total_epsilon = 0.2;
+
+  BenchJsonEmitter emitter;
+  bool ok = true;
+
+  // Phase 1: appends + periodic seals.
+  StreamingPcorEngine stream(full.schema(), *setup->detector);
+  WallTimer append_timer;
+  for (size_t r = 0; r < full.num_rows(); ++r) {
+    std::vector<uint32_t> codes(full.num_attributes());
+    for (size_t a = 0; a < full.num_attributes(); ++a) {
+      codes[a] = full.code(r, a);
+    }
+    Status appended = stream.Append(codes, full.metric(r));
+    if (!appended.ok()) {
+      std::printf("append %zu: %s\n", r, appended.ToString().c_str());
+      return 1;
+    }
+    if ((r + 1) % seal_every == 0) stream.SealEpoch();
+  }
+  const uint64_t final_epoch = stream.SealEpoch();
+  const double append_wall = append_timer.ElapsedSeconds();
+  const StreamingStats after_append = stream.stats();
+  const double appends_per_s =
+      static_cast<double>(full.num_rows()) / std::max(append_wall, 1e-9);
+  report::SectionHeader("streaming appends (copy-on-seal included)");
+  std::printf("%zu rows in %.3fs (%.0f appends/s), %llu seals of <= %zu "
+              "rows, final epoch %llu\n",
+              full.num_rows(), append_wall, appends_per_s,
+              static_cast<unsigned long long>(after_append.seals), seal_every,
+              static_cast<unsigned long long>(final_epoch));
+  if (final_epoch != full.num_rows()) {
+    std::printf("ERROR: final epoch %llu != %zu dataset rows\n",
+                static_cast<unsigned long long>(final_epoch), full.num_rows());
+    ok = false;
+  }
+  emitter.Emit(strings::Format(
+      "{\"bench\":\"streaming_append\",\"rows\":%zu,\"seals\":%llu,"
+      "\"seal_every\":%zu,\"wall_s\":%.6f,\"appends_per_s\":%.1f,"
+      "\"final_epoch\":%llu,\"kernel_backend\":\"%s\"}",
+      full.num_rows(), static_cast<unsigned long long>(after_append.seals),
+      seal_every, append_wall, appends_per_s,
+      static_cast<unsigned long long>(final_epoch),
+      simd::ActiveBackendName()));
+
+  // Phase 2: continual releases against the sealed tip.
+  WallTimer release_timer;
+  size_t failures = 0;
+  double eps_per_release = 0.0;
+  for (size_t t = 0; t < releases_target; ++t) {
+    const uint32_t v_row = setup->outliers[t % setup->outliers.size()];
+    Rng rng(env.seed + t);
+    auto released = stream.ReleaseAsOfNow(v_row, release, &rng);
+    if (!released.ok()) {
+      ++failures;
+      continue;
+    }
+    eps_per_release = released->release.epsilon_spent;
+  }
+  const double release_wall = release_timer.ElapsedSeconds();
+  const StreamingStats stats = stream.stats();
+  const double releases_per_s =
+      static_cast<double>(stats.releases) / std::max(release_wall, 1e-9);
+  report::SectionHeader("continual release (as-of-now, tree-charged)");
+  std::printf("%llu releases in %.3fs (%.1f releases/s), %zu failures, "
+              "%zu memo invalidations across seals\n",
+              static_cast<unsigned long long>(stats.releases), release_wall,
+              releases_per_s, failures, stats.cache_invalidations);
+  if (failures != 0) {
+    std::printf("ERROR: %zu continual releases failed (planted outliers "
+                "must verify at the tip epoch)\n",
+                failures);
+    ok = false;
+  }
+  emitter.Emit(strings::Format(
+      "{\"bench\":\"streaming_release\",\"releases\":%llu,\"failures\":%zu,"
+      "\"wall_s\":%.6f,\"releases_per_s\":%.2f,\"epoch\":%llu,"
+      "\"cache_invalidations\":%zu,\"kernel_backend\":\"%s\"}",
+      static_cast<unsigned long long>(stats.releases), failures, release_wall,
+      releases_per_s, static_cast<unsigned long long>(stats.epoch),
+      stats.cache_invalidations, simd::ActiveBackendName()));
+
+  // Phase 3: the O(log T) accounting win. Never relaxed.
+  const uint64_t T = stats.releases;
+  const double eps_tree = stats.cumulative_epsilon;
+  const double eps_naive = stats.naive_epsilon;
+  const double ratio = eps_naive > 0.0 ? eps_tree / eps_naive : 1.0;
+  report::SectionHeader("epsilon accounting (tree vs naive)");
+  std::printf("T=%llu releases at eps=%.3g: tree %.4f vs naive %.4f "
+              "(ratio %.4f, %llu levels)\n",
+              static_cast<unsigned long long>(T), eps_per_release, eps_tree,
+              eps_naive, ratio,
+              static_cast<unsigned long long>(TreeAccountant::LevelsFor(T)));
+  if (T >= 4) {
+    if (!(eps_tree < eps_naive)) {
+      std::printf("ERROR: tree-composed epsilon %.6f must be strictly below "
+                  "naive %.6f for T >= 4 (never relaxed)\n",
+                  eps_tree, eps_naive);
+      ok = false;
+    }
+    if (eps_tree != TreeAccountant::CumulativeFor(T, eps_per_release)) {
+      std::printf("ERROR: accountant cumulative %.9f != CumulativeFor(%llu) "
+                  "= %.9f\n",
+                  eps_tree, static_cast<unsigned long long>(T),
+                  TreeAccountant::CumulativeFor(T, eps_per_release));
+      ok = false;
+    }
+  }
+  emitter.Emit(strings::Format(
+      "{\"bench\":\"streaming_epsilon\",\"releases\":%llu,"
+      "\"eps_per_release\":%.4f,\"eps_tree\":%.4f,\"eps_naive\":%.4f,"
+      "\"ratio\":%.4f,\"levels\":%llu,\"kernel_backend\":\"%s\"}",
+      static_cast<unsigned long long>(T), eps_per_release, eps_tree,
+      eps_naive, ratio,
+      static_cast<unsigned long long>(TreeAccountant::LevelsFor(T)),
+      simd::ActiveBackendName()));
+
+  if (!emitter.ok()) {
+    std::printf("BENCH_JSON validation failures: %zu\n", emitter.failures());
+  }
+  return (ok && emitter.ok()) ? 0 : 1;
+}

@@ -57,6 +57,7 @@ struct LruCacheStats {
   size_t hits = 0;
   size_t misses = 0;
   size_t evictions = 0;       ///< entries dropped to satisfy a budget
+  size_t invalidations = 0;   ///< entries dropped by EraseIf (staleness)
   size_t resident_bytes = 0;  ///< approximate bytes currently cached
   size_t resident_entries = 0;
 };
@@ -192,6 +193,37 @@ class ShardedLruCache {
     return current_max_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Erases every resident entry whose key satisfies `pred`,
+  /// returning how many were dropped. Counted as *invalidations*, never as
+  /// evictions: evictions are capacity pressure shedding still-valid memo
+  /// entries, while an EraseIf sweep removes entries the caller has
+  /// declared stale (e.g. superseded epochs) — the two must stay
+  /// distinguishable in the stats or cache-pressure telemetry lies.
+  /// Locks one shard at a time; concurrent Get/Put on other shards
+  /// proceed, and an entry inserted into an already-swept shard during the
+  /// walk survives (callers invalidating by epoch must therefore sweep
+  /// only epochs no writer produces anymore).
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (pred(it->first)) {
+          Node* node = &it->second;
+          Unlink(&shard, node);
+          shard.bytes -= node->charged_bytes;
+          it = shard.map.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    invalidations_.fetch_add(erased, std::memory_order_relaxed);
+    return erased;
+  }
+
   /// \brief Drops every entry (not counted as evictions).
   void Clear() {
     for (Shard& shard : shards_) {
@@ -207,6 +239,7 @@ class ShardedLruCache {
     stats.hits = hits_.load(std::memory_order_relaxed);
     stats.misses = misses_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.invalidations = invalidations_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       stats.resident_bytes += shard.bytes;
@@ -221,6 +254,9 @@ class ShardedLruCache {
   size_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
   }
 
   size_t num_shards() const { return shards_.size(); }
@@ -365,6 +401,7 @@ class ShardedLruCache {
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
   std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> invalidations_{0};
   // Adaptive-budget controller state (all guarded by adapt_mu_ except the
   // published budgets above).
   std::mutex adapt_mu_;

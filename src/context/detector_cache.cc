@@ -28,13 +28,30 @@ size_t ApproxResultBytes(const std::vector<uint32_t>& outliers) {
 
 }  // namespace
 
+VerifierMemo::VerifierMemo(const VerifierOptions& options)
+    : cache_(ToCacheOptions(options)) {}
+
+size_t VerifierMemo::InvalidateEpochsBefore(uint64_t epoch) {
+  return cache_.EraseIf(
+      [epoch](const VerifierCacheKey& key) { return key.epoch < epoch; });
+}
+
 OutlierVerifier::OutlierVerifier(const PopulationProbe& index,
                                  const OutlierDetector& detector,
                                  VerifierOptions options)
+    : OutlierVerifier(index, detector,
+                      std::make_shared<VerifierMemo>(options),
+                      /*epoch=*/index.num_rows(), options) {}
+
+OutlierVerifier::OutlierVerifier(const PopulationProbe& index,
+                                 const OutlierDetector& detector,
+                                 std::shared_ptr<VerifierMemo> memo,
+                                 uint64_t epoch, VerifierOptions options)
     : index_(&index),
       detector_(&detector),
       options_(options),
-      cache_(ToCacheOptions(options)) {}
+      memo_(std::move(memo)),
+      epoch_(epoch) {}
 
 bool OutlierVerifier::IsOutlierInContext(const ContextVec& c,
                                          uint32_t v_row) const {
@@ -50,16 +67,17 @@ bool OutlierVerifier::IsOutlierInContext(const ContextVec& c,
 std::shared_ptr<const std::vector<uint32_t>>
 OutlierVerifier::OutliersInContext(const ContextVec& c) const {
   if (!options_.enable_cache) return Compute(c);
+  const VerifierCacheKey key{epoch_, c};
   ResultPtr cached;
-  if (cache_.Get(c, &cached)) return cached;
+  if (memo_->cache_.Get(key, &cached)) return cached;
   ResultPtr computed = Compute(c);
-  cache_.Put(c, computed, ApproxResultBytes(*computed));
+  memo_->cache_.Put(key, computed, ApproxResultBytes(*computed));
   return computed;
 }
 
 std::shared_ptr<const std::vector<uint32_t>> OutlierVerifier::Compute(
     const ContextVec& c) const {
-  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  memo_->evaluations_.fetch_add(1, std::memory_order_relaxed);
   // Per-thread scratch: a probe in steady state allocates only the result
   // vector it may cache, never population buffers.
   thread_local PopulationScratch scratch;
@@ -76,17 +94,18 @@ std::shared_ptr<const std::vector<uint32_t>> OutlierVerifier::Compute(
 }
 
 VerifierStats OutlierVerifier::Stats() const {
-  const LruCacheStats cache_stats = cache_.Stats();
+  const LruCacheStats cache_stats = memo_->CacheStats();
   VerifierStats stats;
   stats.evaluations = evaluations();
   stats.cache_hits = cache_stats.hits;
   stats.cache_misses = cache_stats.misses;
   stats.cache_evictions = cache_stats.evictions;
+  stats.cache_invalidations = cache_stats.invalidations;
   stats.resident_bytes = cache_stats.resident_bytes;
   stats.resident_entries = cache_stats.resident_entries;
   return stats;
 }
 
-void OutlierVerifier::ClearCache() const { cache_.Clear(); }
+void OutlierVerifier::ClearCache() const { memo_->cache_.Clear(); }
 
 }  // namespace pcor

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/common/sharded_lru_cache.h"
 #include "src/context/context.h"
 #include "src/context/population_index.h"
@@ -46,8 +47,85 @@ struct VerifierStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_evictions = 0;  ///< entries dropped to satisfy the budget
+  /// Entries dropped because their epoch was retired (VerifierMemo::
+  /// InvalidateEpochsBefore) — staleness, not capacity pressure. Kept
+  /// separate from cache_evictions so a streaming workload can tell "the
+  /// budget is too small" from "old epochs are being swept on schedule".
+  size_t cache_invalidations = 0;
   size_t resident_bytes = 0;   ///< approximate bytes of memoized results
   size_t resident_entries = 0; ///< memoized contexts currently resident
+};
+
+/// \brief Cache key of one memoized f_M result: the context *and* the
+/// epoch (sealed-row count) of the dataset view it was computed against.
+///
+/// The epoch is part of the key, not metadata: a lookup at epoch e can
+/// only ever see entries computed at epoch e, so a stale-epoch hit is
+/// impossible by construction — there is no code path that could return an
+/// old epoch's outlier set for a new epoch's query, racing appends or not.
+/// The streaming tests hammer this; see docs/streaming.md.
+struct VerifierCacheKey {
+  uint64_t epoch = 0;
+  ContextVec context;
+
+  bool operator==(const VerifierCacheKey& other) const {
+    return epoch == other.epoch && context == other.context;
+  }
+};
+
+struct VerifierCacheKeyHash {
+  size_t operator()(const VerifierCacheKey& key) const {
+    // Avalanche the epoch into the context hash so epoch e and e+1 land in
+    // unrelated shards (sequential epochs would otherwise collide in the
+    // low bits the map consumes).
+    return static_cast<size_t>(SplitMix64Mix(
+        static_cast<uint64_t>(key.context.Hash()) ^
+        (key.epoch + 0x9e3779b97f4a7c15ULL)));
+  }
+};
+
+/// \brief The shared, epoch-keyed memo store behind one or more
+/// OutlierVerifiers.
+///
+/// A single-epoch engine owns one implicitly (the classic construction).
+/// A streaming engine creates one explicitly and hands it to every
+/// per-epoch verifier, so memoized results survive epoch turnover: a
+/// sealed epoch's entries keep serving batches still pinned to it, while
+/// new-epoch queries miss (different key) and fill their own entries.
+///
+/// Sharing contract: all verifiers attached to one memo must belong to the
+/// same logical stream — epoch ids must identify sealed row prefixes of
+/// one dataset lineage, because the key is (epoch, context) and nothing
+/// else. Never share a memo between unrelated datasets.
+///
+/// Thread-safe. Dropping any entry at any time is answer-invariant (pure
+/// memo); invalidation is a storage-reclamation policy, not a correctness
+/// mechanism — correctness comes from the epoch in the key.
+class VerifierMemo {
+ public:
+  explicit VerifierMemo(const VerifierOptions& options);
+
+  /// \brief Erases every entry whose epoch is strictly below `epoch`,
+  /// returning how many were dropped (counted as invalidations, not
+  /// evictions). Safe to call while batches pinned to swept epochs are in
+  /// flight: their lookups miss and recompute — slower, never wrong. The
+  /// streaming engine calls this on seal with its retain-window floor.
+  size_t InvalidateEpochsBefore(uint64_t epoch);
+
+  /// \brief Counter snapshot of the underlying cache.
+  LruCacheStats CacheStats() const { return cache_.Stats(); }
+  /// \brief Full detector evaluations through every attached verifier.
+  size_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class OutlierVerifier;
+  using ResultPtr = std::shared_ptr<const std::vector<uint32_t>>;
+
+  mutable ShardedLruCache<VerifierCacheKey, ResultPtr, VerifierCacheKeyHash>
+      cache_;
+  std::atomic<size_t> evaluations_{0};
 };
 
 /// \brief The paper's outlier verification function f_M(D_C, V), memoized.
@@ -61,15 +139,30 @@ struct VerifierStats {
 /// neighbors), so this memoization is the practical analogue of the paper's
 /// precomputed reference file.
 ///
-/// The memo is a ShardedLruCache: persistent across batches, with real
-/// per-entry LRU eviction against an approximate byte budget. Eviction is
-/// answer-invariant — f_M is deterministic, so dropping an entry can only
-/// cost a recomputation, never change a result. Thread-safe; the experiment
-/// harness shares one verifier across trial threads.
+/// The memo is a ShardedLruCache keyed by (epoch, context): persistent
+/// across batches, with real per-entry LRU eviction against an approximate
+/// byte budget. One verifier is bound to one epoch — the sealed-row count
+/// of the probe it reads — and several verifiers (one per epoch) may share
+/// one VerifierMemo; see VerifierMemo for the sharing contract. Eviction
+/// is answer-invariant — f_M is deterministic, so dropping an entry can
+/// only cost a recomputation, never change a result. Thread-safe; the
+/// experiment harness shares one verifier across trial threads.
 class OutlierVerifier {
  public:
+  /// \brief Classic single-epoch construction: a private memo, with the
+  /// epoch defaulting to the probe's row count (so cache keys line up with
+  /// a streaming engine sealed at the same prefix).
   OutlierVerifier(const PopulationProbe& index,
                   const OutlierDetector& detector,
+                  VerifierOptions options = {});
+
+  /// \brief Streaming construction: memoizes into the shared `memo` under
+  /// epoch `epoch`. `memo` must not be null and must follow the
+  /// VerifierMemo sharing contract; `options` governs this verifier's
+  /// enable_cache flag only (the memo was sized by its own options).
+  OutlierVerifier(const PopulationProbe& index,
+                  const OutlierDetector& detector,
+                  std::shared_ptr<VerifierMemo> memo, uint64_t epoch,
                   VerifierOptions options = {});
 
   /// \brief f_M(D_C, V): true iff row `v_row` is in D_C *and* the detector
@@ -83,22 +176,26 @@ class OutlierVerifier {
   const PopulationProbe& index() const { return *index_; }
   const OutlierDetector& detector() const { return *detector_; }
   const VerifierOptions& options() const { return options_; }
+  /// \brief The epoch this verifier's cache entries are keyed under.
+  uint64_t epoch() const { return epoch_; }
+  /// \brief The memo store (shared in streaming mode; private otherwise).
+  const std::shared_ptr<VerifierMemo>& memo() const { return memo_; }
 
-  /// \brief Number of full detector evaluations performed (cache misses).
-  size_t evaluations() const {
-    return evaluations_.load(std::memory_order_relaxed);
-  }
+  /// \brief Number of full detector evaluations performed (cache misses),
+  /// summed over every verifier attached to the memo.
+  size_t evaluations() const { return memo_->evaluations(); }
   /// \brief Number of cache hits served (lock-free; the release hot path
   /// reads this twice per release).
-  size_t cache_hits() const { return cache_.hits(); }
+  size_t cache_hits() const { return memo_->cache_.hits(); }
 
-  /// \brief Full counter snapshot (hits, misses, evictions, resident
-  /// bytes/entries) for reports and benchmarks.
+  /// \brief Full counter snapshot (hits, misses, evictions, invalidations,
+  /// resident bytes/entries) for reports and benchmarks.
   VerifierStats Stats() const;
 
-  /// \brief Drops all memoized results. Logically const: the cache is a
-  /// pure memo, so clearing it never changes any observable answer. Normal
-  /// operation never calls this — the LRU budget does the shedding — but
+  /// \brief Drops all memoized results (every epoch's, when the memo is
+  /// shared). Logically const: the cache is a pure memo, so clearing it
+  /// never changes any observable answer. Normal operation never calls
+  /// this — the LRU budget and epoch invalidation do the shedding — but
   /// ablations and tests do.
   void ClearCache() const;
 
@@ -110,9 +207,8 @@ class OutlierVerifier {
   const PopulationProbe* index_;
   const OutlierDetector* detector_;
   VerifierOptions options_;
-
-  mutable ShardedLruCache<ContextVec, ResultPtr, ContextVecHash> cache_;
-  mutable std::atomic<size_t> evaluations_{0};
+  std::shared_ptr<VerifierMemo> memo_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace pcor

@@ -36,6 +36,16 @@ PcorEngine::PcorEngine(const Dataset& dataset,
       index_(dataset, index_options),
       verifier_(index_, detector, verifier_options) {}
 
+PcorEngine::PcorEngine(const Dataset& dataset,
+                       const OutlierDetector& detector,
+                       std::shared_ptr<VerifierMemo> memo, uint64_t epoch,
+                       VerifierOptions verifier_options,
+                       ShardedIndexOptions index_options)
+    : dataset_(&dataset),
+      index_(dataset, index_options),
+      verifier_(index_, detector, std::move(memo), epoch,
+                verifier_options) {}
+
 Result<PcorRelease> PcorEngine::Release(uint32_t v_row,
                                         const PcorOptions& options,
                                         Rng* rng) const {
@@ -139,6 +149,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
   release.utility_score = scores[pick];
   release.hit_probe_cap = outcome.hit_probe_cap;
   release.kernel_backend = simd::ActiveBackendName();
+  release.epoch = verifier_.epoch();
   release.seconds = timer.ElapsedSeconds();
   return release;
 }
@@ -231,6 +242,7 @@ BatchReleaseReport PcorEngine::ReleaseBatch(
     report.entry_seconds_p99 = PercentileOfSorted(entry_seconds, 0.99);
   }
   report.kernel_backend = simd::ActiveBackendName();
+  report.epoch = verifier_.epoch();
   report.verifier_stats = verifier_.Stats();
   report.total_f_evaluations =
       report.verifier_stats.evaluations - stats_before.evaluations;

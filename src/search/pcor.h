@@ -76,6 +76,18 @@ struct PcorRelease {
   /// Detector kernel path the release ran on ("scalar", "sse2", "avx2");
   /// recorded so perf numbers are attributable to a backend.
   std::string kernel_backend;
+  /// Epoch (sealed-row count) of the dataset view this release ran
+  /// against. For a classic load-once engine this is simply the dataset's
+  /// row count; under continual release it identifies which snapshot the
+  /// release was pinned to (see src/search/streaming.h).
+  uint64_t epoch = 0;
+  /// Continual-release metadata, zero outside streaming mode: the 1-based
+  /// position of this release in its stream, and the *marginal* epsilon
+  /// the tree accountant charged for it — 0 for releases that reuse
+  /// already-paid tree levels, `epsilon_spent` (new_levels times) when a
+  /// level opened. See src/search/tree_accountant.h.
+  uint64_t stream_release_index = 0;
+  double stream_epsilon_charged = 0.0;
 };
 
 /// \brief One unit of work for ReleaseBatch: a query outlier plus an
@@ -144,6 +156,12 @@ struct BatchReleaseReport {
   double entry_seconds_p99 = 0.0;
   double seconds = 0.0;           ///< wall time of the whole batch
   std::string kernel_backend;     ///< detector kernel path of the batch
+  /// Epoch every entry of this batch executed against (batches never
+  /// straddle epochs — the streaming layer pins one snapshot per batch).
+  uint64_t epoch = 0;
+  /// Sum of the entries' marginal tree charges; 0 outside streaming mode
+  /// (filled by the continual-release layer, which owns the accountant).
+  double total_stream_epsilon_charged = 0.0;
 
   size_t num_released() const { return entries.size() - failures; }
 };
@@ -161,6 +179,18 @@ class PcorEngine {
   /// existing callers transparently gain sharding on large datasets while
   /// small ones stay single-shard.
   PcorEngine(const Dataset& dataset, const OutlierDetector& detector,
+             VerifierOptions verifier_options = {},
+             ShardedIndexOptions index_options = {});
+
+  /// \brief Streaming construction: the verifier memoizes into the shared
+  /// epoch-keyed `memo` under epoch id `epoch` instead of a private cache,
+  /// so per-epoch engines of one stream reuse each other's still-valid
+  /// results while stale-epoch hits stay impossible (the epoch is part of
+  /// the cache key). `memo` must not be null; see VerifierMemo for the
+  /// sharing contract. Used by StreamingPcorEngine — classic callers keep
+  /// the constructor above.
+  PcorEngine(const Dataset& dataset, const OutlierDetector& detector,
+             std::shared_ptr<VerifierMemo> memo, uint64_t epoch,
              VerifierOptions verifier_options = {},
              ShardedIndexOptions index_options = {});
 

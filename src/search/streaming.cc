@@ -1,0 +1,176 @@
+#include "src/search/streaming.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace pcor {
+
+StreamingPcorEngine::StreamingPcorEngine(Schema schema,
+                                         const OutlierDetector& detector,
+                                         StreamingOptions options)
+    : schema_(std::move(schema)),
+      detector_(&detector),
+      options_(options),
+      memo_(std::make_shared<VerifierMemo>(options.verifier)) {
+  // Epoch 0: an empty sealed view. The dataset exists (schema attached,
+  // zero rows) so Pin() is total; the engine is null — nothing to index.
+  auto initial = std::make_shared<EpochSnapshot>();
+  initial->epoch = 0;
+  initial->dataset = std::make_shared<const Dataset>(schema_);
+  snapshot_ = std::move(initial);
+}
+
+Status StreamingPcorEngine::Append(const std::vector<uint32_t>& codes,
+                                   double metric) {
+  // Validate eagerly, at the point the producer can still handle the
+  // error — a bad row must never poison a later SealEpoch.
+  if (codes.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        strings::Format("row has %zu codes, schema has %zu attributes",
+                        codes.size(), schema_.num_attributes()));
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] >= schema_.attribute(i).domain_size()) {
+      return Status::OutOfRange(strings::Format(
+          "code %u out of range for attribute '%s' (domain size %zu)",
+          codes[i], schema_.attribute(i).name.c_str(),
+          schema_.attribute(i).domain_size()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tail_.push_back(Row{codes, metric});
+  ++appends_;
+  return Status::OK();
+}
+
+Status StreamingPcorEngine::AppendRows(std::span<const Row> rows) {
+  for (const Row& row : rows) {
+    PCOR_RETURN_NOT_OK(Append(row));
+  }
+  return Status::OK();
+}
+
+uint64_t StreamingPcorEngine::SealEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tail_.empty()) return snapshot_->epoch;
+
+  // Copy-on-seal: the new epoch's dataset is the old sealed prefix plus
+  // the tail, built fresh so the previous snapshot stays untouched for
+  // whoever still pins it. Rows were validated at Append, so AppendRow
+  // cannot fail here.
+  auto dataset = std::make_shared<Dataset>(*snapshot_->dataset);
+  for (const Row& row : tail_) dataset->AppendRow(row).CheckOK();
+  tail_.clear();
+
+  auto next = std::make_shared<EpochSnapshot>();
+  next->epoch = dataset->num_rows();
+  next->engine = std::make_shared<const PcorEngine>(
+      *dataset, *detector_, memo_, next->epoch, options_.verifier,
+      options_.index);
+  next->dataset = std::move(dataset);
+  snapshot_ = std::move(next);
+  ++seals_;
+
+  // Retire epochs that fell out of the retain window. Safe under pin —
+  // swept epochs recompute on lookup instead of hitting — so this is
+  // memory reclamation only; correctness lives in the (epoch, context)
+  // cache key.
+  sealed_epochs_.push_back(snapshot_->epoch);
+  if (options_.retain_epochs > 0) {
+    while (sealed_epochs_.size() > options_.retain_epochs) {
+      sealed_epochs_.pop_front();
+    }
+    memo_->InvalidateEpochsBefore(sealed_epochs_.front());
+  }
+  return snapshot_->epoch;
+}
+
+std::shared_ptr<const EpochSnapshot> StreamingPcorEngine::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+ContinualRelease StreamingPcorEngine::ChargeAndAnnotate(
+    PcorRelease release) {
+  const TreeAccountant::Charge charge =
+      accountant_.ChargeNextRelease(release.epsilon_spent);
+  release.stream_release_index = charge.release_index;
+  release.stream_epsilon_charged = charge.marginal;
+  ContinualRelease continual;
+  continual.cumulative_epsilon = charge.cumulative;
+  continual.naive_cumulative_epsilon = charge.naive_cumulative;
+  continual.nodes_summed =
+      TreeAccountant::NodesSummedAt(charge.release_index);
+  continual.release = std::move(release);
+  return continual;
+}
+
+Result<ContinualRelease> StreamingPcorEngine::ReleaseAsOfNow(
+    uint32_t v_row, const PcorOptions& options, Rng* rng) {
+  const std::shared_ptr<const EpochSnapshot> snapshot = Pin();
+  if (snapshot->engine == nullptr) {
+    return Status::FailedPrecondition(
+        "no sealed epoch yet: Append rows and SealEpoch before releasing");
+  }
+  PCOR_ASSIGN_OR_RETURN(PcorRelease release,
+                        snapshot->engine->Release(v_row, options, rng));
+  return ChargeAndAnnotate(std::move(release));
+}
+
+BatchReleaseReport StreamingPcorEngine::ReleaseBatchAsOfNow(
+    std::span<const BatchRequest> requests, const PcorOptions& options,
+    uint64_t seed, size_t num_threads) {
+  const std::shared_ptr<const EpochSnapshot> snapshot = Pin();
+  if (snapshot->engine == nullptr) {
+    BatchReleaseReport report;
+    report.entries.resize(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      report.entries[i].v_row = requests[i].v_row;
+      report.entries[i].status = Status::FailedPrecondition(
+          "no sealed epoch yet: Append rows and SealEpoch before releasing");
+    }
+    report.failures = requests.size();
+    return report;
+  }
+  BatchReleaseReport report =
+      snapshot->engine->ReleaseBatch(requests, options, seed, num_threads);
+  // Charge in entry order, after the parallel section: stream positions —
+  // and therefore every marginal — are identical for any thread count.
+  for (BatchEntry& entry : report.entries) {
+    if (!entry.status.ok()) continue;
+    ContinualRelease continual = ChargeAndAnnotate(std::move(entry.release));
+    entry.release = std::move(continual.release);
+    report.total_stream_epsilon_charged +=
+        entry.release.stream_epsilon_charged;
+  }
+  return report;
+}
+
+uint64_t StreamingPcorEngine::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_->epoch;
+}
+
+size_t StreamingPcorEngine::buffered_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_.size();
+}
+
+StreamingStats StreamingPcorEngine::stats() const {
+  StreamingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.epoch = snapshot_->epoch;
+    stats.buffered_rows = tail_.size();
+    stats.appends = appends_;
+    stats.seals = seals_;
+  }
+  stats.releases = accountant_.releases();
+  stats.cumulative_epsilon = accountant_.cumulative_epsilon();
+  stats.naive_epsilon = accountant_.naive_epsilon();
+  stats.cache_invalidations = memo_->CacheStats().invalidations;
+  return stats;
+}
+
+}  // namespace pcor

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/search/pcor.h"
+#include "src/search/tree_accountant.h"
+
+namespace pcor {
+
+/// \brief Construction knobs for StreamingPcorEngine.
+struct StreamingOptions {
+  /// Verifier memo configuration (byte budget, shards, ...). One memo is
+  /// shared by every epoch's verifier, keyed by (epoch, context).
+  VerifierOptions verifier;
+  /// Per-epoch population index construction (shard count, storage,
+  /// probe threads) — same knobs as a classic engine, PCOR_SHARD_COUNT /
+  /// PCOR_COMPRESSED_INDEX included.
+  ShardedIndexOptions index;
+  /// How many most-recent sealed epochs keep their memo entries across a
+  /// seal. Sealing epoch e sweeps every entry older than the retain
+  /// window (VerifierMemo::InvalidateEpochsBefore) — counted as cache
+  /// *invalidations*, never evictions. 2 keeps the new epoch plus the one
+  /// in-flight batches are most likely still pinned to; 0 disables the
+  /// sweep entirely (the LRU byte budget then does all shedding).
+  /// Sweeping an epoch a batch is still pinned to is safe — its lookups
+  /// recompute instead of hit — so this knob trades memory for warmth,
+  /// never correctness.
+  size_t retain_epochs = 2;
+};
+
+/// \brief One immutable, versioned view of the stream: everything sealed
+/// as of `epoch` (= the sealed row count, so epoch ids are totally ordered
+/// and self-describing). Pinning a snapshot (holding the shared_ptr) keeps
+/// its dataset and engine alive while appends and later seals continue —
+/// the snapshot-consistency half of the streaming contract.
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  std::shared_ptr<const Dataset> dataset;
+  /// Null iff epoch == 0 (nothing sealed yet — there is no data to build
+  /// an index over, and no release can run).
+  std::shared_ptr<const PcorEngine> engine;
+};
+
+/// \brief Lifetime counters of one streaming engine.
+struct StreamingStats {
+  uint64_t epoch = 0;          ///< current sealed epoch (sealed row count)
+  size_t buffered_rows = 0;    ///< appended but not yet sealed
+  uint64_t appends = 0;        ///< rows ever appended
+  uint64_t seals = 0;          ///< SealEpoch calls that advanced the epoch
+  uint64_t releases = 0;       ///< continual releases charged so far
+  double cumulative_epsilon = 0.0;  ///< tree-composed total
+  double naive_epsilon = 0.0;       ///< T-fresh-budgets baseline
+  size_t cache_invalidations = 0;   ///< memo entries swept at seals
+};
+
+/// \brief One "outliers as of now" release plus its continual-release
+/// accounting. `release.stream_release_index` / `stream_epsilon_charged`
+/// carry the per-release tree charge; the fields here add the stream-level
+/// cumulative view.
+struct ContinualRelease {
+  PcorRelease release;
+  double cumulative_epsilon = 0.0;        ///< tree-composed, after this one
+  double naive_cumulative_epsilon = 0.0;  ///< what T * eps would have cost
+  uint64_t nodes_summed = 0;  ///< popcount(t) partial-sum nodes (telemetry)
+};
+
+/// \brief PCOR over data that arrives forever: appends land in a mutable
+/// tail, SealEpoch turns the accumulated tail into a new immutable epoch
+/// snapshot, and "as of now" releases run against the latest sealed
+/// snapshot with tree-composed epsilon accounting.
+///
+/// Contracts (tested, see tests/search/streaming_engine_test.cc):
+///   - **Snapshot consistency.** A release (or batch) pinned to epoch k is
+///     bit-identical to the same release against a fresh load-once engine
+///     over exactly the k sealed rows — for any storage, shard count and
+///     thread count, and regardless of appends/seals racing the release.
+///   - **Determinism.** Epochs are content-addressed (epoch id = sealed
+///     row count) and seeds travel with requests, so identical
+///     append/seal/query interleavings at epoch granularity produce
+///     bit-identical releases at any thread count.
+///   - **Stale-epoch isolation.** The shared verifier memo keys every
+///     entry by (epoch, context); a query at epoch e can only see entries
+///     computed at epoch e. Epoch retirement (retain_epochs) is storage
+///     reclamation, not a correctness mechanism.
+///   - **Accounting.** Each release is charged by the binary-tree
+///     schedule (TreeAccountant): cumulative epsilon after T releases is
+///     O(log T) levels instead of T fresh budgets. The engine-level
+///     accountant charges successful releases in completion order; the
+///     serving front-end instead charges per tenant at admission (see
+///     PcorServer streaming mode), which is the authoritative ledger in
+///     multi-tenant deployments.
+///
+/// Costs, stated plainly: SealEpoch copies the sealed prefix and rebuilds
+/// the epoch's index — O(total sealed rows) per seal, amortized fine for
+/// batched seals (seal every S appends), wasteful for seal-per-append.
+/// Incremental segment-sharing index builds are the designated follow-up
+/// (see ROADMAP). Appends are O(1) buffered.
+///
+/// Thread-safe: appends, seals, pins and releases may race freely from any
+/// thread. Seals serialize with appends on one mutex; releases only take
+/// it long enough to pin the snapshot.
+class StreamingPcorEngine {
+ public:
+  /// \brief The detector must outlive the engine.
+  StreamingPcorEngine(Schema schema, const OutlierDetector& detector,
+                      StreamingOptions options = {});
+
+  const Schema& schema() const { return schema_; }
+
+  /// \brief Buffers one row in the mutable tail after validating it
+  /// against the schema (code count and ranges). The row is invisible to
+  /// every probe until the next SealEpoch.
+  Status Append(const std::vector<uint32_t>& codes, double metric);
+  Status Append(const Row& row) { return Append(row.codes, row.metric); }
+  /// \brief Buffers many rows; fails atomically on the first invalid row
+  /// (earlier rows of the span stay buffered — they were valid).
+  Status AppendRows(std::span<const Row> rows);
+
+  /// \brief Seals every buffered row into a new immutable epoch snapshot
+  /// and returns the new epoch id (= total sealed rows). A no-op
+  /// returning the current epoch when nothing is buffered. Sweeps memo
+  /// entries older than the retain window (see StreamingOptions).
+  uint64_t SealEpoch();
+
+  /// \brief Pins the current snapshot: the returned EpochSnapshot (and
+  /// everything it references) stays valid and immutable for as long as
+  /// the shared_ptr is held, no matter how many appends/seals follow.
+  std::shared_ptr<const EpochSnapshot> Pin() const;
+
+  /// \brief Releases a private valid context for `v_row` (a sealed row
+  /// id) "as of now": against the latest sealed snapshot, charged by the
+  /// tree accountant. kFailedPrecondition before the first seal; other
+  /// errors as PcorEngine::Release. Only successful releases are charged.
+  Result<ContinualRelease> ReleaseAsOfNow(uint32_t v_row,
+                                          const PcorOptions& options,
+                                          Rng* rng);
+
+  /// \brief Batch variant: pins one snapshot for the whole batch (batches
+  /// never straddle epochs), executes PcorEngine::ReleaseBatch, then
+  /// charges successful entries in entry order — deterministic for any
+  /// thread count. Entries carry epoch/stream fields;
+  /// `report.total_stream_epsilon_charged` sums the marginals. Before the
+  /// first seal every entry fails with kFailedPrecondition.
+  BatchReleaseReport ReleaseBatchAsOfNow(
+      std::span<const BatchRequest> requests, const PcorOptions& options,
+      uint64_t seed, size_t num_threads = 0);
+
+  uint64_t current_epoch() const;
+  size_t buffered_rows() const;
+  StreamingStats stats() const;
+
+  /// \brief The shared epoch-keyed memo (for stats and tests).
+  const std::shared_ptr<VerifierMemo>& memo() const { return memo_; }
+  /// \brief The stream-level tree accountant (see class comment for how
+  /// it relates to the serving front-end's per-tenant ledgers).
+  const TreeAccountant& accountant() const { return accountant_; }
+
+ private:
+  /// \brief Annotates a successful release with its tree charge.
+  ContinualRelease ChargeAndAnnotate(PcorRelease release);
+
+  Schema schema_;
+  const OutlierDetector* detector_;
+  StreamingOptions options_;
+  std::shared_ptr<VerifierMemo> memo_;
+  TreeAccountant accountant_;
+
+  mutable std::mutex mu_;  // guards tail_, snapshot_, counters below
+  std::vector<Row> tail_;
+  std::shared_ptr<const EpochSnapshot> snapshot_;
+  std::deque<uint64_t> sealed_epochs_;  // most-recent retain window
+  uint64_t appends_ = 0;
+  uint64_t seals_ = 0;
+};
+
+}  // namespace pcor

@@ -1,0 +1,60 @@
+#include "src/search/tree_accountant.h"
+
+#include <bit>
+
+namespace pcor {
+
+uint64_t TreeAccountant::LevelsFor(uint64_t t) {
+  if (t == 0) return 0;
+  // floor(log2(t)) + 1 == bit_width(t).
+  return static_cast<uint64_t>(std::bit_width(t));
+}
+
+uint64_t TreeAccountant::NodesSummedAt(uint64_t t) {
+  return static_cast<uint64_t>(std::popcount(t));
+}
+
+double TreeAccountant::CumulativeFor(uint64_t t, double eps_level) {
+  return static_cast<double>(LevelsFor(t)) * eps_level;
+}
+
+double TreeAccountant::NaiveCumulativeFor(uint64_t t, double eps_release) {
+  return static_cast<double>(t) * eps_release;
+}
+
+double TreeAccountant::MarginalFor(uint64_t t, double eps_level) {
+  if (t == 0) return 0.0;
+  return static_cast<double>(LevelsFor(t) - LevelsFor(t - 1)) * eps_level;
+}
+
+TreeAccountant::Charge TreeAccountant::ChargeNextRelease(
+    double eps_release) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Charge charge;
+  charge.release_index = ++releases_;
+  charge.new_levels =
+      LevelsFor(charge.release_index) - LevelsFor(charge.release_index - 1);
+  charge.marginal = static_cast<double>(charge.new_levels) * eps_release;
+  cumulative_ += charge.marginal;
+  naive_ += eps_release;
+  charge.cumulative = cumulative_;
+  charge.naive_cumulative = naive_;
+  return charge;
+}
+
+uint64_t TreeAccountant::releases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return releases_;
+}
+
+double TreeAccountant::cumulative_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cumulative_;
+}
+
+double TreeAccountant::naive_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return naive_;
+}
+
+}  // namespace pcor

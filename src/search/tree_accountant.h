@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace pcor {
+
+/// \brief Epsilon composition for continual release via the binary-tree
+/// (partial-sum) mechanism's schedule.
+///
+/// Naive accounting for T repeated "as-of-now" releases charges a fresh
+/// full budget every time: cumulative epsilon = T * eps. The binary
+/// mechanism (Chan–Shi–Song / Dwork et al. continual observation; the
+/// NoisePartialSum technique in PrivateLinUCB-style tree aggregation)
+/// organizes the stream into a binary tree of partial-sum nodes instead:
+///
+///   - node (l, j) at level l covers stream positions
+///     [j * 2^l + 1, (j + 1) * 2^l], and is perturbed once, when it
+///     completes;
+///   - the answer at time t sums the popcount(t) completed nodes given by
+///     t's binary digits (NodesSummedAt);
+///   - nodes *within* one level cover disjoint stream segments, so a
+///     level costs one eps under parallel composition no matter how many
+///     of its nodes exist; levels compose sequentially.
+///
+/// Cumulative epsilon after T releases is therefore
+///   CumulativeFor(T, eps) = LevelsFor(T) * eps,
+/// with LevelsFor(T) = floor(log2(T)) + 1 — O(log T) instead of O(T). The
+/// marginal charge of release t is nonzero only when t is a power of two
+/// (a new tree level opens); every other release reuses levels already
+/// paid for. Strictly below the naive sum for every T >= 3, equal at
+/// T <= 2.
+///
+/// The accountant implements this *schedule*; see docs/streaming.md and
+/// docs/privacy.md for exactly what the tree charge does and does not
+/// guarantee for PCOR releases.
+class TreeAccountant {
+ public:
+  /// \brief Tree levels spanned after `t` releases:
+  /// floor(log2(t)) + 1 for t >= 1, and 0 for t = 0.
+  static uint64_t LevelsFor(uint64_t t);
+
+  /// \brief Partial-sum nodes summed to answer release `t`: popcount(t).
+  /// Reported for telemetry/docs; it does not enter the epsilon charge
+  /// (completed nodes are read, not re-perturbed).
+  static uint64_t NodesSummedAt(uint64_t t);
+
+  /// \brief Tree-composed cumulative epsilon after `t` releases at
+  /// per-level budget `eps_level`: LevelsFor(t) * eps_level.
+  static double CumulativeFor(uint64_t t, double eps_level);
+
+  /// \brief The naive baseline: t * eps_release (fresh budget per
+  /// release, sequential composition).
+  static double NaiveCumulativeFor(uint64_t t, double eps_release);
+
+  /// \brief The marginal tree charge of one release at stream position
+  /// `t` (1-based) with per-level budget `eps_level`:
+  /// (LevelsFor(t) - LevelsFor(t - 1)) * eps_level — eps_level when t is
+  /// a power of two, else 0.
+  static double MarginalFor(uint64_t t, double eps_level);
+
+  /// \brief Outcome of charging one release to the stream.
+  struct Charge {
+    uint64_t release_index = 0;  ///< 1-based stream position t
+    uint64_t new_levels = 0;     ///< tree levels opened by this release
+    double marginal = 0.0;       ///< epsilon newly charged (0 off-powers)
+    double cumulative = 0.0;     ///< tree-composed total so far
+    double naive_cumulative = 0.0;  ///< what T * eps accounting would say
+  };
+
+  /// \brief Charges the stream's next release, whose own mechanism budget
+  /// is `eps_release` (it doubles as the per-level price: the release
+  /// that opens a level sets what that level costs). Thread-safe; stream
+  /// positions are assigned in call order. With heterogeneous eps_release
+  /// values the cumulative depends on which requests land on the
+  /// level-opening positions — serialize admissions (the server does)
+  /// when that matters.
+  Charge ChargeNextRelease(double eps_release);
+
+  /// \brief Releases charged so far (the current stream position T).
+  uint64_t releases() const;
+  /// \brief Tree-composed epsilon spent so far.
+  double cumulative_epsilon() const;
+  /// \brief The naive T-fresh-budgets total, for comparison/reporting.
+  double naive_epsilon() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t releases_ = 0;
+  double cumulative_ = 0.0;
+  double naive_ = 0.0;
+};
+
+}  // namespace pcor

@@ -15,6 +15,16 @@ using std::chrono::steady_clock;
 
 PcorServer::PcorServer(const PcorEngine& engine, ServeOptions options)
     : engine_(&engine),
+      stream_(nullptr),
+      options_(std::move(options)),
+      accountant_(options_.per_client_epsilon_cap),
+      queue_(std::max<size_t>(1, options_.queue_capacity),
+             options_.scheduling),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+PcorServer::PcorServer(StreamingPcorEngine& stream, ServeOptions options)
+    : engine_(nullptr),
+      stream_(&stream),
       options_(std::move(options)),
       accountant_(options_.per_client_epsilon_cap),
       queue_(std::max<size_t>(1, options_.queue_capacity),
@@ -63,8 +73,8 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
       return valid;
     }
   }
-  const double cost = request.options ? request.options->total_epsilon
-                                      : options_.release.total_epsilon;
+  const double eps = request.options ? request.options->total_epsilon
+                                     : options_.release.total_epsilon;
   {
     std::unique_lock<std::mutex> lock(state_mu_);
     if (shutting_down_) {
@@ -73,20 +83,23 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
       return Status::Unavailable("server is shutting down");
     }
   }
-  Status charged = accountant_.Charge(client_id, cost);
-  if (!charged.ok()) {
-    std::unique_lock<std::mutex> stats_lock(stats_mu_);
-    ++stats_.rejected_budget;
-    return charged;
-  }
 
   Pending pending;
   pending.client_id = std::string(client_id);
   pending.request = request;
   pending.request.use_explicit_seed = true;
-  pending.cost = cost;
   uint64_t my_seq = 0;
-  {
+  double cost = eps;
+  if (stream_ == nullptr) {
+    // Classic mode: charge the full per-release epsilon, then claim the
+    // client's next stream slot.
+    Status charged = accountant_.Charge(client_id, cost);
+    if (!charged.ok()) {
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected_budget;
+      return charged;
+    }
+    pending.cost = cost;
     std::unique_lock<std::mutex> lock(state_mu_);
     if (shutting_down_) {
       lock.unlock();
@@ -102,16 +115,55 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
     my_seq = it->second;
     pending.request.rng_seed = RequestSeed(options_.seed, client_id, my_seq);
     ++it->second;
+  } else {
+    // Streaming mode: the tree marginal depends on the tenant's stream
+    // position, so the slot is claimed FIRST and the charge computed from
+    // it; a refused charge hands the slot straight back (nothing else can
+    // have claimed a later slot for this client in between — the claim and
+    // the rollback bracket only this submission's charge).
+    {
+      std::unique_lock<std::mutex> lock(state_mu_);
+      if (shutting_down_) {
+        lock.unlock();
+        std::unique_lock<std::mutex> stats_lock(stats_mu_);
+        ++stats_.rejected_queue;
+        return Status::Unavailable("server is shutting down");
+      }
+      auto it = client_seq_.find(client_id);
+      if (it == client_seq_.end()) {
+        it = client_seq_.emplace(pending.client_id, 0).first;
+      }
+      my_seq = it->second;
+      pending.request.rng_seed = RequestSeed(options_.seed, client_id, my_seq);
+      ++it->second;
+    }
+    cost = TreeAccountant::MarginalFor(my_seq + 1, eps);
+    Status charged = accountant_.Charge(client_id, cost);
+    if (!charged.ok()) {
+      {
+        std::unique_lock<std::mutex> lock(state_mu_);
+        auto it = client_seq_.find(client_id);
+        if (it != client_seq_.end() && it->second == my_seq + 1) --it->second;
+      }
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected_budget;
+      return charged;
+    }
+    pending.cost = cost;
+    pending.stream_index = my_seq + 1;
+    pending.naive_cost = eps;
   }
   Future<BatchEntry> future = pending.promise.GetFuture();
 
-  // The DRR charge is the request's epsilon, so a tenant's fair share
-  // holds in privacy budget per second: one expensive release costs as
-  // many scheduling credits as many cheap ones.
+  // The DRR charge is the request's PER-RELEASE epsilon (not the tree
+  // marginal, which is zero for most streaming admissions), so a tenant's
+  // fair share holds in work per second: one expensive release costs as
+  // many scheduling credits as many cheap ones. In classic mode eps and
+  // the ledger charge coincide.
   QueueOp pushed =
       options_.backpressure == BackpressurePolicy::kBlock
-          ? queue_.Push(client_id, std::move(pending), cost)
-          : queue_.TryPush(client_id, std::move(pending), cost);
+          ? queue_.Push(client_id, std::move(pending), eps)
+          : queue_.TryPush(client_id, std::move(pending), eps);
   if (pushed != QueueOp::kOk) {
     // Nothing ran against the data: roll the admission back. The stream
     // slot is returned only if no other submission for this client claimed
@@ -139,6 +191,7 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
   {
     std::unique_lock<std::mutex> stats_lock(stats_mu_);
     ++stats_.submitted;
+    if (stream_ != nullptr) stats_.naive_epsilon_spent += eps;
   }
   return future;
 }
@@ -151,6 +204,47 @@ std::vector<Result<Future<BatchEntry>>> PcorServer::SubmitMany(
     futures.push_back(SubmitAsync(request, client_id));
   }
   return futures;
+}
+
+Status PcorServer::SubmitAppend(const Row& row) {
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SubmitAppend requires a streaming-mode server");
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (shutting_down_) {
+      return Status::Unavailable("server is shutting down");
+    }
+  }
+  PCOR_RETURN_NOT_OK(stream_->Append(row));
+  std::unique_lock<std::mutex> stats_lock(stats_mu_);
+  ++stats_.appends;
+  return Status::OK();
+}
+
+Status PcorServer::SubmitAppends(std::span<const Row> rows) {
+  for (const Row& row : rows) {
+    PCOR_RETURN_NOT_OK(SubmitAppend(row));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PcorServer::SealEpoch() {
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SealEpoch requires a streaming-mode server");
+  }
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    if (shutting_down_) {
+      return Status::Unavailable("server is shutting down");
+    }
+  }
+  const uint64_t epoch = stream_->SealEpoch();
+  std::unique_lock<std::mutex> stats_lock(stats_mu_);
+  ++stats_.epochs_sealed;
+  return epoch;
 }
 
 void PcorServer::Shutdown(bool drain) {
@@ -188,16 +282,19 @@ void PcorServer::DispatcherLoop() {
     if (abort_pending_.load(std::memory_order_relaxed)) {
       // Abort-mode shutdown: complete undispatched work with a typed
       // kUnavailable entry and return the untouched budget charges.
+      double naive_refunded = 0.0;
       for (Pending& pending : batch) {
         BatchEntry entry;
         entry.v_row = pending.request.v_row;
         entry.rng_seed = pending.request.rng_seed;
         entry.status = Status::Unavailable("server shut down before dispatch");
         accountant_.Refund(pending.client_id, pending.cost);
+        naive_refunded += pending.naive_cost;
         pending.promise.Set(std::move(entry));
       }
       std::unique_lock<std::mutex> stats_lock(stats_mu_);
       stats_.failed += batch.size();
+      stats_.naive_epsilon_spent -= naive_refunded;
       continue;
     }
     ExecuteBatch(std::move(batch));
@@ -209,13 +306,53 @@ void PcorServer::ExecuteBatch(std::vector<Pending> batch) {
   requests.reserve(batch.size());
   for (const Pending& pending : batch) requests.push_back(pending.request);
 
+  // Streaming mode: pin ONE snapshot for the whole micro-batch — a batch
+  // never straddles epochs — and execute against its engine. The pin keeps
+  // the epoch's dataset and index alive however many appends/seals race
+  // this dispatch. Before the first seal there is nothing to release
+  // against: entries fail typed and keep their admission charge (the slot
+  // is burned; see the class comment).
+  std::shared_ptr<const EpochSnapshot> snapshot;
+  const PcorEngine* engine = engine_;
+  if (stream_ != nullptr) {
+    snapshot = stream_->Pin();
+    engine = snapshot->engine.get();
+    if (engine == nullptr) {
+      for (Pending& pending : batch) {
+        BatchEntry entry;
+        entry.v_row = pending.request.v_row;
+        entry.rng_seed = pending.request.rng_seed;
+        entry.status = Status::FailedPrecondition(
+            "no sealed epoch yet: append rows and SealEpoch before "
+            "releasing");
+        pending.promise.Set(std::move(entry));
+      }
+      std::unique_lock<std::mutex> stats_lock(stats_mu_);
+      ++stats_.batches;
+      stats_.max_coalesced = std::max(stats_.max_coalesced, batch.size());
+      stats_.failed += batch.size();
+      return;
+    }
+  }
+
   try {
     if (options_.pre_batch_hook) {
       options_.pre_batch_hook(std::span<const BatchRequest>(requests));
     }
-    BatchReleaseReport report = engine_->ReleaseBatch(
+    BatchReleaseReport report = engine->ReleaseBatch(
         std::span<const BatchRequest>(requests), options_.release,
         options_.seed, options_.release_threads);
+    if (stream_ != nullptr) {
+      // Annotate entries with the per-tenant tree charge fixed at
+      // admission (the engine stamped the epoch already). Failed entries
+      // carry no release to annotate.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        BatchEntry& entry = report.entries[i];
+        if (!entry.status.ok()) continue;
+        entry.release.stream_release_index = batch[i].stream_index;
+        entry.release.stream_epsilon_charged = batch[i].cost;
+      }
+    }
     {
       std::unique_lock<std::mutex> stats_lock(stats_mu_);
       ++stats_.batches;
@@ -260,6 +397,7 @@ ServerStats PcorServer::stats() const {
     snapshot = stats_;
   }
   snapshot.epsilon_spent = accountant_.TotalSpent();
+  if (stream_ != nullptr) snapshot.epoch = stream_->current_epoch();
   return snapshot;
 }
 

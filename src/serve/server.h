@@ -17,6 +17,8 @@
 #include "src/common/mpmc_queue.h"
 #include "src/common/result.h"
 #include "src/search/pcor.h"
+#include "src/search/streaming.h"
+#include "src/search/tree_accountant.h"
 #include "src/serve/budget_accountant.h"
 #include "src/serve/scheduler.h"
 
@@ -101,6 +103,13 @@ struct ServerStats {
   size_t max_coalesced = 0;    ///< largest micro-batch observed
   size_t hit_probe_cap = 0;    ///< released entries that hit max_probes
   double epsilon_spent = 0.0;  ///< sum of all client ledgers
+  // Streaming mode only (all zero on a classic server):
+  size_t appends = 0;          ///< rows accepted by SubmitAppend
+  size_t epochs_sealed = 0;    ///< SealEpoch calls accepted
+  uint64_t epoch = 0;          ///< current sealed epoch of the stream
+  /// What the ledgers would hold under classic per-release charging — the
+  /// tree schedule's savings are `naive_epsilon_spent - epsilon_spent`.
+  double naive_epsilon_spent = 0.0;
 };
 
 /// \brief Asynchronous multi-tenant serving front-end over
@@ -129,6 +138,24 @@ struct ServerStats {
 /// with a typed kPrivacyBudgetExceeded status (see BudgetAccountant for
 /// the refund rules).
 ///
+/// Streaming mode (construct over a StreamingPcorEngine): SubmitAppend /
+/// SealEpoch grow the stream, and every dispatched micro-batch pins ONE
+/// epoch snapshot — a batch never straddles epochs, so its entries all
+/// report the same PcorRelease::epoch. Admission charges the binary-tree
+/// MARGINAL for the tenant's next stream position instead of the full
+/// epsilon: position t (the tenant's submission index + 1) costs
+/// (LevelsFor(t) - LevelsFor(t-1)) * effective_epsilon, so a tenant's
+/// ledger after T admissions holds LevelsFor(T) * eps — O(log T) — and a
+/// fixed cap admits exponentially more continual releases than classic
+/// per-release charging (docs/streaming.md works the arithmetic). The
+/// stream position doubles as the Rng stream index, so determinism is
+/// unchanged: identical append/seal/submit interleavings at epoch
+/// granularity are bit-identical at any thread count. Door rejections
+/// refund the marginal and return the slot when possible (same burned-slot
+/// rule as classic mode); once dispatched, charges stick — including
+/// entries failed for lack of a sealed epoch (over-charging is the safe
+/// direction; see docs/privacy.md).
+///
 /// Thread-safety: every public method may be called concurrently from any
 /// thread. SubmitAsync blocks only under BackpressurePolicy::kBlock with a
 /// full queue; Shutdown blocks until the dispatcher exits.
@@ -136,6 +163,15 @@ class PcorServer {
  public:
   /// \brief The engine must outlive the server.
   PcorServer(const PcorEngine& engine, ServeOptions options);
+
+  /// \brief Streaming mode: serve continual releases over an evolving
+  /// stream. The streaming engine must outlive the server. The server
+  /// charges tenants at admission by the tree schedule and is then the
+  /// authoritative ledger — it drives PcorEngine::ReleaseBatch on pinned
+  /// snapshots directly and does NOT also run the engine-level
+  /// StreamingPcorEngine accountant (which meters the single-owner
+  /// ReleaseAsOfNow path).
+  PcorServer(StreamingPcorEngine& stream, ServeOptions options);
 
   /// \brief Drains and stops (Shutdown(true)).
   ~PcorServer();
@@ -173,6 +209,26 @@ class PcorServer {
   std::vector<Result<Future<BatchEntry>>> SubmitMany(
       std::span<const BatchRequest> requests, std::string_view client_id);
 
+  /// \brief Streaming mode: buffers one validated row in the stream's
+  /// mutable tail (invisible to probes until the next SealEpoch).
+  /// kFailedPrecondition on a classic server, kUnavailable after
+  /// Shutdown, else the StreamingPcorEngine::Append status.
+  Status SubmitAppend(const Row& row);
+  /// \brief Buffers many rows; stops at the first invalid row (earlier
+  /// rows stay buffered — they were valid).
+  Status SubmitAppends(std::span<const Row> rows);
+
+  /// \brief Streaming mode: seals every buffered row into a new immutable
+  /// epoch snapshot and returns the new epoch id (sealed row count).
+  /// Requests admitted before the seal may execute against either epoch —
+  /// each micro-batch pins whichever snapshot is current at dispatch, and
+  /// every entry reports its epoch. kFailedPrecondition on a classic
+  /// server, kUnavailable after Shutdown.
+  Result<uint64_t> SealEpoch();
+
+  /// \brief True when constructed over a StreamingPcorEngine.
+  bool streaming() const { return stream_ != nullptr; }
+
   /// \brief Stops the server. `drain` true executes every admitted request
   /// before returning; false completes pending (undispatched) futures with
   /// a kUnavailable entry and refunds their budget charges. Idempotent;
@@ -199,6 +255,11 @@ class PcorServer {
     Promise<BatchEntry> promise;
     std::string client_id;  // for the abort-path refund
     double cost = 0.0;      // epsilon charged at admission (refund amount)
+    // Streaming mode: the tenant's 1-based stream position (0 on a classic
+    // server) and the classic per-release epsilon the tree marginal stands
+    // in for (for ServerStats::naive_epsilon_spent bookkeeping).
+    uint64_t stream_index = 0;
+    double naive_cost = 0.0;
   };
 
   void DispatcherLoop();
@@ -208,7 +269,8 @@ class PcorServer {
   /// survives, the concrete type intentionally does not; see ServeError).
   void FailBatchWith(std::vector<Pending>* batch, const char* what);
 
-  const PcorEngine* engine_;
+  const PcorEngine* engine_;          // null in streaming mode
+  StreamingPcorEngine* stream_;       // null in classic mode
   const ServeOptions options_;
   BudgetAccountant accountant_;
   WeightedFairQueue<Pending> queue_;

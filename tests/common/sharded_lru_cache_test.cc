@@ -108,6 +108,75 @@ TEST(ShardedLruCacheTest, WholesaleClearDropsAllButNewest) {
   EXPECT_EQ(cache.Stats().resident_entries, 1u);
 }
 
+TEST(ShardedLruCacheTest, EraseIfDropsExactlyTheMatchingKeys) {
+  IntCache cache;
+  for (int k = 0; k < 100; ++k) cache.Put(k, k * 10, 8);
+  // Invalidate the even keys across every shard.
+  const size_t erased = cache.EraseIf([](int key) { return key % 2 == 0; });
+  EXPECT_EQ(erased, 50u);
+  int value = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_FALSE(cache.Get(k, &value)) << k;
+    } else {
+      ASSERT_TRUE(cache.Get(k, &value)) << k;
+      EXPECT_EQ(value, k * 10);
+    }
+  }
+  const LruCacheStats stats = cache.Stats();
+  // Invalidations are counted apart from pressure evictions: a sweep is
+  // staleness reclamation, not a sign the byte budget is too small.
+  EXPECT_EQ(stats.invalidations, 50u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.resident_entries, 50u);
+  // A sweep matching nothing is a harmless no-op.
+  EXPECT_EQ(cache.EraseIf([](int) { return false; }), 0u);
+  EXPECT_EQ(cache.Stats().invalidations, 50u);
+}
+
+TEST(ShardedLruCacheTest, EraseIfReleasesBytesAndListLinks) {
+  // After sweeping, the freed bytes must be reusable and the recency list
+  // intact: filling the budget again evicts cleanly from the cold end.
+  IntCache cache(SingleShard(/*max_bytes=*/0, /*max_entries=*/4));
+  for (int k = 0; k < 4; ++k) cache.Put(k, k, 8);
+  EXPECT_EQ(cache.EraseIf([](int key) { return key == 1 || key == 2; }), 2u);
+  EXPECT_EQ(cache.Stats().resident_entries, 2u);
+  cache.Put(10, 100, 8);
+  cache.Put(11, 110, 8);  // back at the cap, no eviction yet
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+  cache.Put(12, 120, 8);  // now key 0 (coldest survivor) must go
+  int value = 0;
+  EXPECT_FALSE(cache.Get(0, &value));
+  EXPECT_TRUE(cache.Get(3, &value));
+  EXPECT_TRUE(cache.Get(12, &value));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().invalidations, 2u);
+}
+
+TEST(ShardedLruCacheTest, EraseIfRacesReadersSafely) {
+  // Readers hammer Gets while a sweeper repeatedly invalidates half the key
+  // space; values served must always be the ones inserted (no torn state).
+  IntCache cache;
+  for (int k = 0; k < 256; ++k) cache.Put(k, k * 7, 8);
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.EraseIf([](int key) { return key % 2 == 0; });
+      for (int k = 0; k < 256; k += 2) cache.Put(k, k * 7, 8);
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    for (int k = 0; k < 256; ++k) {
+      int value = -1;
+      if (cache.Get(k, &value)) {
+        EXPECT_EQ(value, k * 7) << k;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  sweeper.join();
+}
+
 TEST(ShardedLruCacheTest, ClearEmptiesEveryShard) {
   IntCache cache;
   for (int k = 0; k < 100; ++k) cache.Put(k, k, 8);

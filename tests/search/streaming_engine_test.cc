@@ -1,0 +1,361 @@
+#include "src/search/streaming.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/search/pcor.h"
+#include "tests/testing_util.h"
+
+namespace pcor {
+namespace {
+
+// The spread-grid rows appended one by one: sealing after the first
+// `grid.dataset.num_rows()` of them reproduces the classic fixture exactly,
+// so a fresh load-once engine is available as the bit-identity oracle.
+std::vector<Row> GridRows(const Dataset& dataset) {
+  std::vector<Row> rows;
+  rows.reserve(dataset.num_rows());
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    Row row;
+    for (size_t a = 0; a < dataset.num_attributes(); ++a) {
+      row.codes.push_back(dataset.code(r, a));
+    }
+    row.metric = dataset.metric(r);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// Release fields that must be bit-identical between an epoch-pinned
+// streaming release and a fresh load of the same rows (wall time excluded).
+void ExpectSameRelease(const PcorRelease& a, const PcorRelease& b) {
+  EXPECT_EQ(a.context, b.context);
+  EXPECT_EQ(a.starting_context, b.starting_context);
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_DOUBLE_EQ(a.epsilon_spent, b.epsilon_spent);
+  EXPECT_DOUBLE_EQ(a.epsilon1, b.epsilon1);
+  EXPECT_EQ(a.num_candidates, b.num_candidates);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_DOUBLE_EQ(a.utility_score, b.utility_score);
+  EXPECT_EQ(a.hit_probe_cap, b.hit_probe_cap);
+  EXPECT_EQ(a.epoch, b.epoch);
+}
+
+PcorOptions BfsOptions() {
+  PcorOptions options;
+  options.sampler = SamplerKind::kBfs;
+  options.num_samples = 8;
+  options.total_epsilon = 0.4;
+  return options;
+}
+
+class StreamingEngineTest : public ::testing::Test {
+ protected:
+  StreamingEngineTest()
+      : grid_(testing_util::MakeSpreadGridDataset()),
+        detector_(testing_util::MakeTestDetector()) {}
+
+  testing_util::GridData grid_;
+  ZscoreDetector detector_;
+};
+
+TEST_F(StreamingEngineTest, RejectsInvalidAppendsEagerly) {
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  EXPECT_TRUE(stream.Append({0, 1}, 100.0).ok());
+  // Wrong arity and out-of-domain codes fail at Append, not at SealEpoch.
+  EXPECT_TRUE(stream.Append({0}, 100.0).IsInvalidArgument());
+  EXPECT_TRUE(stream.Append({0, 9}, 100.0).IsOutOfRange());
+  EXPECT_EQ(stream.buffered_rows(), 1u);
+  EXPECT_EQ(stream.SealEpoch(), 1u);
+}
+
+TEST_F(StreamingEngineTest, NoSealedEpochFailsTyped) {
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  EXPECT_EQ(stream.current_epoch(), 0u);
+  EXPECT_EQ(stream.Pin()->engine, nullptr);
+  Rng rng(1);
+  EXPECT_TRUE(stream.ReleaseAsOfNow(0, BfsOptions(), &rng)
+                  .status()
+                  .IsFailedPrecondition());
+  std::vector<BatchRequest> requests(3);
+  const BatchReleaseReport report =
+      stream.ReleaseBatchAsOfNow(requests, BfsOptions(), /*seed=*/1);
+  EXPECT_EQ(report.failures, 3u);
+  for (const BatchEntry& entry : report.entries) {
+    EXPECT_TRUE(entry.status.IsFailedPrecondition());
+  }
+  // Failed releases are never charged.
+  EXPECT_EQ(stream.stats().releases, 0u);
+  // Sealing with an empty tail is a no-op at epoch 0 too.
+  EXPECT_EQ(stream.SealEpoch(), 0u);
+}
+
+TEST_F(StreamingEngineTest, EpochPinnedBatchBitIdenticalToFreshLoad) {
+  // Stream the classic fixture, seal, then keep appending and sealing:
+  // the pinned epoch-k snapshot must keep releasing exactly like a fresh
+  // load-once engine over those k rows, for dense and compressed storage.
+  for (const IndexStorage storage :
+       {IndexStorage::kDense, IndexStorage::kCompressed}) {
+    SCOPED_TRACE(storage == IndexStorage::kDense ? "dense" : "compressed");
+    StreamingOptions options;
+    options.index.storage = storage;
+    StreamingPcorEngine stream(testing_util::GridSchema(), detector_,
+                               options);
+    ASSERT_TRUE(stream.AppendRows(GridRows(grid_.dataset)).ok());
+    const uint64_t epoch = stream.SealEpoch();
+    ASSERT_EQ(epoch, grid_.dataset.num_rows());
+    const std::shared_ptr<const EpochSnapshot> pinned = stream.Pin();
+
+    // Grow the stream past the pin: a later epoch with different data.
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(stream.Append({1, 1}, 100.0).ok());
+    }
+    ASSERT_GT(stream.SealEpoch(), epoch);
+    ASSERT_EQ(stream.current_epoch(), epoch + 50);
+    // The pin still sees exactly the sealed-at-k view.
+    ASSERT_EQ(pinned->epoch, epoch);
+    ASSERT_EQ(pinned->dataset->num_rows(), epoch);
+
+    ShardedIndexOptions index_options;
+    index_options.storage = storage;
+    PcorEngine fresh(grid_.dataset, detector_, /*verifier_options=*/{},
+                     index_options);
+    std::vector<uint32_t> rows(24, grid_.v_row);
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE(threads);
+      const BatchReleaseReport want = fresh.ReleaseBatch(
+          std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/2021, 1);
+      const BatchReleaseReport got = pinned->engine->ReleaseBatch(
+          std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/2021,
+          threads);
+      ASSERT_EQ(want.failures, 0u);
+      ASSERT_EQ(got.failures, 0u);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        SCOPED_TRACE(i);
+        ExpectSameRelease(got.entries[i].release, want.entries[i].release);
+      }
+    }
+  }
+}
+
+TEST_F(StreamingEngineTest, AppendsWhileBatchInFlightCannotPerturbIt) {
+  // Fuzz the snapshot-consistency contract: a writer hammers appends and
+  // seals while readers release against their pins; every pinned release
+  // must match the fresh-load oracle for its epoch.
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  ASSERT_TRUE(stream.AppendRows(GridRows(grid_.dataset)).ok());
+  ASSERT_EQ(stream.SealEpoch(), grid_.dataset.num_rows());
+
+  PcorEngine fresh(grid_.dataset, detector_);
+  std::vector<uint32_t> rows(8, grid_.v_row);
+  const BatchReleaseReport want = fresh.ReleaseBatch(
+      std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/7, 1);
+  ASSERT_EQ(want.failures, 0u);
+
+  const std::shared_ptr<const EpochSnapshot> pinned = stream.Pin();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint32_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      stream.Append({i % 3, (i / 3) % 3, }, 95.0 + double(i % 11)).CheckOK();
+      if (++i % 16 == 0) stream.SealEpoch();
+    }
+  });
+
+  for (int round = 0; round < 12; ++round) {
+    const BatchReleaseReport got = pinned->engine->ReleaseBatch(
+        std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/7, 4);
+    ASSERT_EQ(got.failures, 0u);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ExpectSameRelease(got.entries[i].release, want.entries[i].release);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(stream.current_epoch(), grid_.dataset.num_rows());
+}
+
+TEST_F(StreamingEngineTest, SharedMemoNeverLeaksAcrossEpochs) {
+  // Epoch A: the classic spread grid, V an outlier in most contexts.
+  // Epoch B: enough extra (0, 0)-cluster spread to change which contexts
+  // flag V. Pin both, share one memo, hammer interleaved queries from many
+  // threads: every release must match an engine that never saw the other
+  // epoch. A stale-epoch cache hit would break the comparison.
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  ASSERT_TRUE(stream.AppendRows(GridRows(grid_.dataset)).ok());
+  ASSERT_EQ(stream.SealEpoch(), grid_.dataset.num_rows());
+  const std::shared_ptr<const EpochSnapshot> epoch_a = stream.Pin();
+
+  // Wild spread in group (a0, b1): contexts joining a0 with b1 stop
+  // flagging V, while narrow contexts like {a0} x {b0} still do — a
+  // different COE shape, not an empty one.
+  Dataset grown(grid_.dataset);
+  for (int i = 0; i < 72; ++i) {
+    const Row extra{{0, 1}, 90.0 + 25.0 * double(i % 10)};
+    grown.AppendRow(extra).CheckOK();
+    ASSERT_TRUE(stream.Append(extra).ok());
+  }
+  ASSERT_EQ(stream.SealEpoch(), grown.num_rows());
+  const std::shared_ptr<const EpochSnapshot> epoch_b = stream.Pin();
+  ASSERT_NE(epoch_a->epoch, epoch_b->epoch);
+
+  // Isolated single-epoch oracles (private memos).
+  PcorEngine fresh_a(grid_.dataset, detector_);
+  PcorEngine fresh_b(grown, detector_);
+  std::vector<uint32_t> rows(6, grid_.v_row);
+  const BatchReleaseReport want_a = fresh_a.ReleaseBatch(
+      std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/13, 1);
+  const BatchReleaseReport want_b = fresh_b.ReleaseBatch(
+      std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/13, 1);
+  ASSERT_EQ(want_a.failures, 0u);
+  ASSERT_EQ(want_b.failures, 0u);
+  // The epochs must actually disagree somewhere, or this test proves
+  // nothing about staleness.
+  bool differ = false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (want_a.entries[i].release.context !=
+        want_b.entries[i].release.context) {
+      differ = true;
+    }
+  }
+  ASSERT_TRUE(differ) << "fixture regression: epochs release identically";
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < 8; ++w) {
+    threads.emplace_back([&, w] {
+      for (int round = 0; round < 6; ++round) {
+        const bool use_a = (w + round) % 2 == 0;
+        const EpochSnapshot& snap = use_a ? *epoch_a : *epoch_b;
+        const BatchReleaseReport& want = use_a ? want_a : want_b;
+        const BatchReleaseReport got = snap.engine->ReleaseBatch(
+            std::span<const uint32_t>(rows), BfsOptions(), /*seed=*/13, 2);
+        ASSERT_EQ(got.failures, 0u);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          ExpectSameRelease(got.entries[i].release, want.entries[i].release);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Both epochs served from ONE memo (hits happened), yet never from each
+  // other's entries.
+  EXPECT_GT(stream.memo()->CacheStats().hits, 0u);
+}
+
+TEST_F(StreamingEngineTest, SealSweepsEpochsOutsideRetainWindow) {
+  StreamingOptions options;
+  options.retain_epochs = 1;
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_,
+                             options);
+  ASSERT_TRUE(stream.AppendRows(GridRows(grid_.dataset)).ok());
+  stream.SealEpoch();
+  // Warm the memo at epoch 1.
+  Rng rng(3);
+  ASSERT_TRUE(stream.ReleaseAsOfNow(grid_.v_row, BfsOptions(), &rng).ok());
+  const size_t entries_before = stream.memo()->CacheStats().resident_entries;
+  ASSERT_GT(entries_before, 0u);
+
+  // Sealing the next epoch retires epoch 1's entries as INVALIDATIONS —
+  // distinct from LRU pressure evictions, which stay zero here.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(stream.Append({1, 1}, 100.0).ok());
+  }
+  stream.SealEpoch();
+  const LruCacheStats cache = stream.memo()->CacheStats();
+  EXPECT_EQ(cache.invalidations, entries_before);
+  EXPECT_EQ(cache.evictions, 0u);
+  EXPECT_EQ(cache.resident_entries, 0u);
+  EXPECT_EQ(stream.stats().cache_invalidations, entries_before);
+
+  // retain_epochs = 0 disables the sweep entirely.
+  StreamingOptions keep_all = options;
+  keep_all.retain_epochs = 0;
+  StreamingPcorEngine packrat(testing_util::GridSchema(), detector_,
+                              keep_all);
+  ASSERT_TRUE(packrat.AppendRows(GridRows(grid_.dataset)).ok());
+  packrat.SealEpoch();
+  Rng rng2(3);
+  ASSERT_TRUE(
+      packrat.ReleaseAsOfNow(grid_.v_row, BfsOptions(), &rng2).ok());
+  const size_t warm = packrat.memo()->CacheStats().resident_entries;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(packrat.Append({1, 1}, 100.0).ok());
+  }
+  packrat.SealEpoch();
+  EXPECT_EQ(packrat.memo()->CacheStats().invalidations, 0u);
+  EXPECT_EQ(packrat.memo()->CacheStats().resident_entries, warm);
+}
+
+TEST_F(StreamingEngineTest, TreeAccountingBeatsNaiveAndIsDeterministic) {
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  ASSERT_TRUE(stream.AppendRows(GridRows(grid_.dataset)).ok());
+  stream.SealEpoch();
+
+  // Sixteen continual releases; the acceptance bar requires the
+  // tree-composed total strictly below the naive per-release sum for
+  // every T >= 4.
+  double last_cumulative = 0.0;
+  for (uint64_t t = 1; t <= 16; ++t) {
+    Rng rng(100 + t);
+    auto released = stream.ReleaseAsOfNow(grid_.v_row, BfsOptions(), &rng);
+    ASSERT_TRUE(released.ok()) << released.status().ToString();
+    EXPECT_EQ(released->release.stream_release_index, t);
+    EXPECT_EQ(released->release.epoch, grid_.dataset.num_rows());
+    EXPECT_DOUBLE_EQ(
+        released->release.stream_epsilon_charged,
+        TreeAccountant::MarginalFor(t, released->release.epsilon_spent));
+    EXPECT_DOUBLE_EQ(released->cumulative_epsilon,
+                     TreeAccountant::CumulativeFor(
+                         t, released->release.epsilon_spent));
+    EXPECT_EQ(released->nodes_summed, TreeAccountant::NodesSummedAt(t));
+    if (t >= 4) {
+      EXPECT_LT(released->cumulative_epsilon,
+                released->naive_cumulative_epsilon)
+          << "tree schedule must beat naive at T=" << t;
+    }
+    EXPECT_GE(released->cumulative_epsilon, last_cumulative);
+    last_cumulative = released->cumulative_epsilon;
+  }
+  const StreamingStats stats = stream.stats();
+  EXPECT_EQ(stats.releases, 16u);
+  EXPECT_DOUBLE_EQ(stats.cumulative_epsilon,
+                   TreeAccountant::CumulativeFor(16, 0.4));
+  EXPECT_DOUBLE_EQ(stats.naive_epsilon, 16 * 0.4);
+
+  // Batch charging happens in entry order after the parallel section, so
+  // stream positions — and every annotation — are thread-count invariant.
+  StreamingPcorEngine one(testing_util::GridSchema(), detector_);
+  StreamingPcorEngine many(testing_util::GridSchema(), detector_);
+  for (StreamingPcorEngine* s : {&one, &many}) {
+    ASSERT_TRUE(s->AppendRows(GridRows(grid_.dataset)).ok());
+    s->SealEpoch();
+  }
+  std::vector<BatchRequest> requests(12);
+  for (auto& r : requests) r.v_row = grid_.v_row;
+  const BatchReleaseReport a =
+      one.ReleaseBatchAsOfNow(requests, BfsOptions(), /*seed=*/5, 1);
+  const BatchReleaseReport b =
+      many.ReleaseBatchAsOfNow(requests, BfsOptions(), /*seed=*/5, 8);
+  ASSERT_EQ(a.failures, 0u);
+  ASSERT_EQ(b.failures, 0u);
+  EXPECT_DOUBLE_EQ(a.total_stream_epsilon_charged,
+                   b.total_stream_epsilon_charged);
+  EXPECT_DOUBLE_EQ(a.total_stream_epsilon_charged,
+                   TreeAccountant::CumulativeFor(12, 0.4));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameRelease(a.entries[i].release, b.entries[i].release);
+    EXPECT_EQ(a.entries[i].release.stream_release_index, i + 1);
+    EXPECT_EQ(b.entries[i].release.stream_release_index, i + 1);
+    EXPECT_DOUBLE_EQ(a.entries[i].release.stream_epsilon_charged,
+                     b.entries[i].release.stream_epsilon_charged);
+  }
+}
+
+}  // namespace
+}  // namespace pcor

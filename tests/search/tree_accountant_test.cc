@@ -1,0 +1,131 @@
+#include "src/search/tree_accountant.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pcor {
+namespace {
+
+TEST(TreeAccountantTest, LevelsForMatchesFloorLog2Plus1) {
+  EXPECT_EQ(TreeAccountant::LevelsFor(0), 0u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(1), 1u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(2), 2u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(3), 2u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(4), 3u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(7), 3u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(8), 4u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(1023), 10u);
+  EXPECT_EQ(TreeAccountant::LevelsFor(1024), 11u);
+  for (uint64_t t = 1; t <= 4096; ++t) {
+    EXPECT_EQ(TreeAccountant::LevelsFor(t),
+              static_cast<uint64_t>(std::floor(std::log2(double(t)))) + 1)
+        << "t=" << t;
+  }
+}
+
+TEST(TreeAccountantTest, NodesSummedAtIsPopcount) {
+  EXPECT_EQ(TreeAccountant::NodesSummedAt(1), 1u);   // 0b1
+  EXPECT_EQ(TreeAccountant::NodesSummedAt(6), 2u);   // 0b110
+  EXPECT_EQ(TreeAccountant::NodesSummedAt(7), 3u);   // 0b111
+  EXPECT_EQ(TreeAccountant::NodesSummedAt(8), 1u);   // 0b1000
+  EXPECT_EQ(TreeAccountant::NodesSummedAt(255), 8u);
+  // Never more nodes than levels: the answer at t reads at most one
+  // completed node per level.
+  for (uint64_t t = 1; t <= 4096; ++t) {
+    EXPECT_LE(TreeAccountant::NodesSummedAt(t), TreeAccountant::LevelsFor(t));
+  }
+}
+
+TEST(TreeAccountantTest, MarginalNonzeroOnlyAtPowersOfTwo) {
+  const double eps = 0.3;
+  for (uint64_t t = 1; t <= 1024; ++t) {
+    const bool pow2 = (t & (t - 1)) == 0;
+    if (pow2) {
+      EXPECT_DOUBLE_EQ(TreeAccountant::MarginalFor(t, eps), eps) << t;
+    } else {
+      EXPECT_DOUBLE_EQ(TreeAccountant::MarginalFor(t, eps), 0.0) << t;
+    }
+  }
+}
+
+TEST(TreeAccountantTest, MarginalsSumToCumulative) {
+  const double eps = 0.25;
+  double sum = 0.0;
+  for (uint64_t t = 1; t <= 2048; ++t) {
+    sum += TreeAccountant::MarginalFor(t, eps);
+    EXPECT_DOUBLE_EQ(sum, TreeAccountant::CumulativeFor(t, eps)) << t;
+  }
+}
+
+TEST(TreeAccountantTest, TreeStrictlyBelowNaiveFromThreeOn) {
+  const double eps = 0.5;
+  // T = 1, 2: schedules coincide (no sharing possible yet).
+  EXPECT_DOUBLE_EQ(TreeAccountant::CumulativeFor(1, eps),
+                   TreeAccountant::NaiveCumulativeFor(1, eps));
+  EXPECT_DOUBLE_EQ(TreeAccountant::CumulativeFor(2, eps),
+                   TreeAccountant::NaiveCumulativeFor(2, eps));
+  // T >= 3 (and in particular the T >= 4 acceptance bound): strict win.
+  for (uint64_t t = 3; t <= 100000; ++t) {
+    EXPECT_LT(TreeAccountant::CumulativeFor(t, eps),
+              TreeAccountant::NaiveCumulativeFor(t, eps))
+        << t;
+  }
+  // The worked example from docs/streaming.md: T = 1000 costs 10 levels,
+  // not 1000 fresh budgets.
+  EXPECT_DOUBLE_EQ(TreeAccountant::CumulativeFor(1000, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(TreeAccountant::NaiveCumulativeFor(1000, 0.1), 100.0);
+}
+
+TEST(TreeAccountantTest, ChargeNextReleasePositionsInCallOrder) {
+  TreeAccountant accountant;
+  const double eps = 0.2;
+  for (uint64_t t = 1; t <= 37; ++t) {
+    const TreeAccountant::Charge charge = accountant.ChargeNextRelease(eps);
+    EXPECT_EQ(charge.release_index, t);
+    EXPECT_EQ(charge.new_levels,
+              TreeAccountant::LevelsFor(t) - TreeAccountant::LevelsFor(t - 1));
+    EXPECT_DOUBLE_EQ(charge.marginal, TreeAccountant::MarginalFor(t, eps));
+    EXPECT_DOUBLE_EQ(charge.cumulative, TreeAccountant::CumulativeFor(t, eps));
+    EXPECT_DOUBLE_EQ(charge.naive_cumulative,
+                     TreeAccountant::NaiveCumulativeFor(t, eps));
+  }
+  EXPECT_EQ(accountant.releases(), 37u);
+  EXPECT_DOUBLE_EQ(accountant.cumulative_epsilon(),
+                   TreeAccountant::CumulativeFor(37, eps));
+  EXPECT_DOUBLE_EQ(accountant.naive_epsilon(), 37 * eps);
+}
+
+TEST(TreeAccountantTest, ConcurrentChargesAssignUniquePositions) {
+  TreeAccountant accountant;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 200;
+  std::vector<std::vector<uint64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        seen[w].push_back(accountant.ChargeNextRelease(0.1).release_index);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<bool> hit(kThreads * kPerThread + 1, false);
+  for (const auto& v : seen) {
+    for (uint64_t idx : v) {
+      ASSERT_GE(idx, 1u);
+      ASSERT_LE(idx, kThreads * kPerThread);
+      EXPECT_FALSE(hit[idx]) << "position " << idx << " assigned twice";
+      hit[idx] = true;
+    }
+  }
+  EXPECT_EQ(accountant.releases(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(
+      accountant.cumulative_epsilon(),
+      TreeAccountant::CumulativeFor(kThreads * kPerThread, 0.1));
+}
+
+}  // namespace
+}  // namespace pcor

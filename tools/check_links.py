@@ -12,10 +12,19 @@ inline links `[text](target)` and verifies every *intra-repo* target:
   * absolute URLs (http/https/mailto) are skipped — this job gates repo
     self-consistency, not the internet.
 
-Exits non-zero listing every dead link, so CI fails on doc rot.
+It also verifies *code paths* quoted in inline backtick spans: a span
+that (after collapsing hard-wrap whitespace) starts with `src/`,
+`tests/`, `bench/`, `tools/`, `examples/`, `docs/` or `.github/` is a
+claim that the path exists in the repository, checked from the repo
+root. `{h,cc}`-style brace groups expand to every alternative, a `*`
+makes the span a glob (at least one match required), and spans with
+placeholder characters (`<name>`, `$VAR`, ...) are skipped.
+
+Exits non-zero listing every dead link/path, so CI fails on doc rot.
 Stdlib only; no third-party dependencies.
 """
 
+import glob as globlib
 import os
 import re
 import sys
@@ -27,6 +36,27 @@ LINK_RE = re.compile(
 )
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+# Inline code spans that claim a repository path exists.
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+PATH_PREFIXES = ("src/", "tests/", "bench/", "tools/", "examples/",
+                 "docs/", ".github/")
+# Characters that mark a span as a template, not a literal path.
+PLACEHOLDER_CHARS = set("<>$()|'\" ")
+BRACE_RE = re.compile(r"\{([^{}]+)\}")
+
+
+def expand_braces(path: str) -> list:
+    """`src/x.{h,cc}` -> [`src/x.h`, `src/x.cc`] (nested groups too)."""
+    match = BRACE_RE.search(path)
+    if not match:
+        return [path]
+    expanded = []
+    for alt in match.group(1).split(","):
+        expanded.extend(
+            expand_braces(path[: match.start()] + alt + path[match.end():])
+        )
+    return expanded
 
 
 def github_slug(heading: str) -> str:
@@ -67,11 +97,34 @@ def collect_markdown(args) -> list:
     return sorted(set(files))
 
 
-def check_file(md_path: str) -> list:
+def check_code_paths(md_path: str, content: str, repo_root: str) -> list:
+    """Backtick spans naming repo paths must point at something real."""
+    errors = []
+    for match in CODE_SPAN_RE.finditer(content):
+        # Docs hard-wrap long paths; the span survives with an embedded
+        # newline + indent. Collapse all whitespace before classifying.
+        span = re.sub(r"\s+", "", match.group(1))
+        if not span.startswith(PATH_PREFIXES):
+            continue
+        if PLACEHOLDER_CHARS.intersection(span):
+            continue  # `tests/<name>`-style templates are not claims
+        for candidate in expand_braces(span):
+            if "*" in candidate:
+                if not globlib.glob(os.path.join(repo_root, candidate)):
+                    errors.append(f"{md_path}: dead path glob `{span}` "
+                                  f"(nothing matches {candidate})")
+            elif not os.path.exists(os.path.join(repo_root, candidate)):
+                errors.append(f"{md_path}: dead path `{span}` "
+                              f"({candidate} does not exist)")
+    return errors
+
+
+def check_file(md_path: str, repo_root: str) -> list:
     errors = []
     with open(md_path, encoding="utf-8") as f:
         content = f.read()
     content = CODE_FENCE_RE.sub("", content)
+    errors.extend(check_code_paths(md_path, content, repo_root))
     for match in LINK_RE.finditer(content):
         target = match.group(1) or match.group(2)
         if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
@@ -104,13 +157,16 @@ def main(argv) -> int:
     if not files:
         print("error: no markdown files found in the given paths")
         return 2
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
     errors = []
     for md in files:
-        errors.extend(check_file(md))
+        errors.extend(check_file(md, repo_root))
     for error in errors:
         print(error)
     print(f"checked {len(files)} markdown files: "
-          f"{'FAIL' if errors else 'OK'} ({len(errors)} dead links)")
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} dead links/paths)")
     return 1 if errors else 0
 
 
