@@ -82,10 +82,14 @@ struct PcorRelease {
   /// release was pinned to (see src/search/streaming.h).
   uint64_t epoch = 0;
   /// Continual-release metadata, zero outside streaming mode: the 1-based
-  /// position of this release in its stream, and the *marginal* epsilon
-  /// the tree accountant charged for it — 0 for releases that reuse
-  /// already-paid tree levels, `epsilon_spent` (new_levels times) when a
-  /// level opened. See src/search/tree_accountant.h.
+  /// position of this release in its stream, and the epsilon actually
+  /// charged to the ledger for it. Served releases charge per
+  /// ServeOptions::streaming_charge — the full effective epsilon under
+  /// kPerRelease (the default), or the tree-schedule marginal under
+  /// kTreeSchedule (0 for releases that reuse already-paid tree levels,
+  /// level_price times the levels opened otherwise). The engine-level
+  /// ReleaseAsOfNow path always stamps the tree marginal (its accountant
+  /// is the schedule meter; see src/search/tree_accountant.h).
   uint64_t stream_release_index = 0;
   double stream_epsilon_charged = 0.0;
 };

@@ -1,13 +1,21 @@
 // Streaming-mode serving: SubmitAppend/SealEpoch grow the stream while
-// continual-release requests ride the classic admission pipeline, charged
-// by the binary-tree marginal per tenant. The contracts under test: the
-// determinism guarantee survives streaming (identical append/seal/submit
-// interleavings at epoch granularity are bit-identical at any thread
-// count), no micro-batch straddles epochs, and a fixed tenant cap admits
-// strictly more continual releases than classic per-release charging.
+// continual-release requests ride the classic admission pipeline. The
+// contracts under test: the default StreamingChargePolicy::kPerRelease
+// charges full per-release epsilon (the cap bounds sequential
+// composition) with the tree schedule as telemetry; the opt-in
+// kTreeSchedule charges pinned-price tree levels (requests above the
+// level price are rejected, burned slots keep their level charges, and a
+// fixed tenant cap admits strictly more continual releases than classic
+// charging); the determinism guarantee survives streaming (identical
+// append/seal/submit interleavings at epoch granularity are bit-identical
+// at any thread count); and no micro-batch straddles epochs.
 #include "src/serve/server.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +58,14 @@ class StreamingServerTest : public ::testing::Test {
     return options;
   }
 
+  // The opt-in tree-schedule variant; tests asserting tree arithmetic on
+  // the LEDGER use this, everything else runs under the sound default.
+  ServeOptions TreeOptions() const {
+    ServeOptions options = Options();
+    options.streaming_charge = StreamingChargePolicy::kTreeSchedule;
+    return options;
+  }
+
   // A stream sealed at exactly the classic fixture.
   void SeedStream(StreamingPcorEngine* stream) {
     ASSERT_TRUE(stream->AppendRows(GridRows(grid_.dataset)).ok());
@@ -71,7 +87,7 @@ TEST_F(StreamingServerTest, ClassicServerRejectsStreamingCalls) {
 
 TEST_F(StreamingServerTest, AppendsSealAndServeWithEpochAnnotations) {
   StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
-  PcorServer server(stream, Options());
+  PcorServer server(stream, TreeOptions());
   EXPECT_TRUE(server.streaming());
 
   ASSERT_TRUE(server.SubmitAppends(GridRows(grid_.dataset)).ok());
@@ -106,11 +122,122 @@ TEST_F(StreamingServerTest, AppendsSealAndServeWithEpochAnnotations) {
   EXPECT_EQ(stats.released, 9u);
   EXPECT_DOUBLE_EQ(stats.naive_epsilon_spent, 9 * 0.4);
   EXPECT_LT(stats.epsilon_spent, stats.naive_epsilon_spent);
+  // Under kTreeSchedule the tree telemetry IS the ledger.
+  EXPECT_DOUBLE_EQ(stats.tree_epsilon_spent, stats.epsilon_spent);
+}
+
+TEST_F(StreamingServerTest, DefaultPolicyChargesFullEpsilonPerRelease) {
+  // The default streaming_charge is kPerRelease: the ledger grows by the
+  // full effective epsilon per release — exactly classic sequential
+  // composition, so per_client_epsilon_cap bounds actual DP loss — while
+  // the tree schedule is reported as advisory telemetry.
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  ServeOptions options = Options();
+  ASSERT_EQ(options.streaming_charge, StreamingChargePolicy::kPerRelease);
+  PcorServer server(stream, options);
+  SeedStream(&stream);
+
+  BatchRequest request;
+  request.v_row = grid_.v_row;
+  for (size_t k = 0; k < 5; ++k) {
+    auto submitted = server.SubmitAsync(request, "tenant");
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    const BatchEntry entry = submitted->Get();
+    ASSERT_TRUE(entry.status.ok()) << entry.status.ToString();
+    EXPECT_EQ(entry.release.stream_release_index, k + 1);
+    // Every release paid full price — including non-power-of-two slots.
+    EXPECT_DOUBLE_EQ(entry.release.stream_epsilon_charged, 0.4);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("tenant"), 5 * 0.4);
+  EXPECT_DOUBLE_EQ(stats.epsilon_spent, stats.naive_epsilon_spent);
+  EXPECT_DOUBLE_EQ(stats.tree_epsilon_spent,
+                   TreeAccountant::CumulativeFor(5, 0.4));
+  EXPECT_LT(stats.tree_epsilon_spent, stats.epsilon_spent);
+
+  // And the cap means what it says: 5 * 0.4 spent, a 2.0 cap is full.
+  ServeOptions capped = Options();
+  capped.per_client_epsilon_cap = 2.0;
+  PcorServer capped_server(stream, capped);
+  size_t admitted = 0;
+  for (size_t k = 0; k < 8; ++k) {
+    auto submitted = capped_server.SubmitAsync(request, "tenant");
+    if (!submitted.ok()) {
+      EXPECT_TRUE(submitted.status().IsPrivacyBudgetExceeded());
+      break;
+    }
+    ++admitted;
+    submitted->Get();
+  }
+  EXPECT_EQ(admitted, 5u);
+}
+
+TEST_F(StreamingServerTest, TreeScheduleRejectsRequestsAboveLevelPrice) {
+  // The tree schedule prices levels, not requests: without the ceiling a
+  // tenant could open levels with tiny-eps requests and ride arbitrarily
+  // expensive releases at marginal 0. Over-price requests must be
+  // rejected before anything is charged or sequenced.
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  PcorServer server(stream, TreeOptions());
+  SeedStream(&stream);
+
+  BatchRequest cheap;
+  cheap.v_row = grid_.v_row;
+  cheap.options = TreeOptions().release;
+  cheap.options->total_epsilon = 0.05;  // below the 0.4 level price
+
+  BatchRequest expensive = cheap;
+  expensive.options->total_epsilon = 3.0;  // way above the level price
+
+  // A cheap request may open the level, but the level still costs its
+  // full pinned price — cheap openers cannot discount later releases.
+  auto opened = server.SubmitAsync(cheap, "t");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  opened->Get();
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("t"), 0.4);
+
+  // The expensive request is rejected at any position, charged nothing,
+  // and consumes no stream slot.
+  auto rejected = server.SubmitAsync(expensive, "t");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("t"), 0.4);
+  EXPECT_EQ(server.stats().rejected_invalid, 1u);
+  auto next = server.SubmitAsync(cheap, "t");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->Get().release.stream_release_index, 2u);
+
+  // A tenant registered with a higher level price may submit up to it —
+  // and pays levels at that price. The price pins at stream start, so
+  // register BEFORE the tenant's first submission.
+  TenantConfig config;
+  config.stream_level_epsilon = 3.0;
+  ASSERT_TRUE(server.RegisterTenant("vip", config).ok());
+  auto vip = server.SubmitAsync(expensive, "vip");
+  ASSERT_TRUE(vip.ok()) << vip.status().ToString();
+  vip->Get();
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("vip"), 3.0);
+
+  // Re-registering with a cheaper price cannot re-price a started
+  // stream: "t" already bought levels at 0.4 and its next level still
+  // costs 0.4.
+  TenantConfig cheaper;
+  cheaper.stream_level_epsilon = 0.01;
+  ASSERT_TRUE(server.RegisterTenant("t", cheaper).ok());
+  auto second_level = server.SubmitAsync(cheap, "t");  // position 3
+  ASSERT_TRUE(second_level.ok());
+  auto third_level = server.SubmitAsync(cheap, "t");  // position 4: level 3
+  ASSERT_TRUE(third_level.ok());
+  second_level->Get();
+  third_level->Get();
+  EXPECT_DOUBLE_EQ(server.accountant().SpentBy("t"),
+                   TreeAccountant::CumulativeFor(4, 0.4));
 }
 
 TEST_F(StreamingServerTest, RequestsBeforeFirstSealFailTypedAndCharged) {
   StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
-  PcorServer server(stream, Options());
+  PcorServer server(stream, TreeOptions());
   BatchRequest request;
   request.v_row = 0;
   auto submitted = server.SubmitAsync(request, "early");
@@ -131,7 +258,7 @@ TEST_F(StreamingServerTest, TreeCapAdmitsExponentiallyMoreThanNaive) {
   // positions 3, 5, 6, 7 ride free, so admission first fails at t = 8
   // (the 4th level would push the ledger to 1.6 > 1.3): 7 admissions.
   StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
-  ServeOptions options = Options();
+  ServeOptions options = TreeOptions();
   options.per_client_epsilon_cap = 1.3;
   PcorServer server(stream, options);
   SeedStream(&stream);
@@ -173,7 +300,7 @@ TEST_F(StreamingServerTest, BudgetRejectionReturnsTheStreamSlot) {
   // reuses position t (and its seed), so seeds stay dense and the tree
   // schedule stays aligned with actual admissions.
   StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
-  ServeOptions options = Options();
+  ServeOptions options = TreeOptions();
   options.per_client_epsilon_cap = 0.4;  // one level only
   PcorServer server(stream, options);
   SeedStream(&stream);
@@ -202,6 +329,59 @@ TEST_F(StreamingServerTest, BudgetRejectionReturnsTheStreamSlot) {
   EXPECT_EQ(entry.release.stream_release_index, 2u);
   EXPECT_EQ(entry.rng_seed,
             PcorServer::RequestSeed(options.seed, "t", 1));
+}
+
+TEST_F(StreamingServerTest, BurnedSlotsNeverDiscountUnpaidLevels) {
+  // Hammer admissions for ONE tenant from several threads against a tiny
+  // rejecting queue: door rejections race later slot claims, so some
+  // slots burn. The invariant that must survive (the under-charge fix):
+  // the tenant's ledger always equals paid-levels times level price —
+  // every marginal-0 admission rode a level somebody actually paid for,
+  // because burned level-opening slots keep their charges and returned
+  // ones give both the charge and the levels back.
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  ServeOptions options = TreeOptions();
+  options.queue_capacity = 2;
+  options.max_batch = 2;
+  options.backpressure = BackpressurePolicy::kReject;
+  options.pre_batch_hook = [](std::span<const BatchRequest>) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  PcorServer server(stream, options);
+  SeedStream(&stream);
+
+  BatchRequest request;
+  request.v_row = grid_.v_row;
+  std::atomic<size_t> admitted{0};
+  std::mutex futures_mu;
+  std::vector<Future<BatchEntry>> futures;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 40; ++k) {
+        auto submitted = server.SubmitAsync(request, "hammer");
+        if (!submitted.ok()) continue;
+        ++admitted;
+        std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(submitted).value());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_GT(admitted.load(), 0u);
+  uint64_t max_index = 0;
+  for (auto& future : futures) {
+    const BatchEntry entry = future.Get();
+    if (entry.status.ok()) {
+      max_index = std::max(max_index, entry.release.stream_release_index);
+    }
+  }
+  server.Shutdown(/*drain=*/true);
+
+  const ServerStats stats = server.stats();
+  const double spent = server.accountant().SpentBy("hammer");
+  EXPECT_NEAR(spent, stats.tree_epsilon_spent, 1e-9);
+  EXPECT_GE(spent + 1e-9, TreeAccountant::CumulativeFor(max_index, 0.4));
 }
 
 TEST_F(StreamingServerTest, InterleavingsAreBitIdenticalAcrossThreadCounts) {
