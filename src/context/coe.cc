@@ -10,8 +10,7 @@ Result<std::vector<ContextVec>> EnumerateCoe(const OutlierVerifier& verifier,
                                              uint32_t v_row,
                                              const CoeOptions& options) {
   const Schema& schema = verifier.index().schema();
-  const Dataset& dataset = verifier.index().dataset();
-  if (v_row >= dataset.num_rows()) {
+  if (v_row >= verifier.index().num_rows()) {
     return Status::OutOfRange("v_row outside dataset");
   }
   const size_t t = schema.total_values();
@@ -21,7 +20,8 @@ Result<std::vector<ContextVec>> EnumerateCoe(const OutlierVerifier& verifier,
   std::vector<size_t> fixed_bits;
   fixed_bits.reserve(m);
   for (size_t a = 0; a < m; ++a) {
-    fixed_bits.push_back(schema.value_offset(a) + dataset.code(v_row, a));
+    fixed_bits.push_back(schema.value_offset(a) +
+                         verifier.index().RowCode(v_row, a));
   }
   // Remaining free bits.
   std::vector<size_t> free_bits;

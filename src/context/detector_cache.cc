@@ -56,10 +56,7 @@ OutlierVerifier::OutlierVerifier(const PopulationProbe& index,
 bool OutlierVerifier::IsOutlierInContext(const ContextVec& c,
                                          uint32_t v_row) const {
   // Fast precheck: V must belong to D_C at all (one bit test per attribute).
-  if (!context_ops::ContainsRow(index_->schema(), index_->dataset(), v_row,
-                                c)) {
-    return false;
-  }
+  if (!index_->ContextContainsRow(c, v_row)) return false;
   auto outliers = OutliersInContext(c);
   return std::binary_search(outliers->begin(), outliers->end(), v_row);
 }

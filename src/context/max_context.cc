@@ -45,7 +45,7 @@ Result<MaxContextResult> FindMaxContext(const OutlierVerifier& verifier,
                                         uint32_t v_row,
                                         const MaxContextOptions& options,
                                         Rng* rng) {
-  if (v_row >= verifier.index().dataset().num_rows()) {
+  if (v_row >= verifier.index().num_rows()) {
     return Status::OutOfRange("v_row outside dataset");
   }
   StartingContextOptions start_options;

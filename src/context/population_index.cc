@@ -1,5 +1,7 @@
 #include "src/context/population_index.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 
@@ -39,20 +41,52 @@ IndexStorage DefaultIndexStorage() {
 // implementation, defined over the virtual probe core so single-box and
 // sharded indexes materialize identically. ----
 
+uint32_t PopulationProbe::RowCode(uint32_t row, size_t attr) const {
+  return dataset().code(row_offset() + row, attr);
+}
+
+double PopulationProbe::RowMetric(uint32_t row) const {
+  return dataset().metric_column()[row_offset() + row];
+}
+
+void PopulationProbe::GatherMetrics(const BitVector& population,
+                                    std::vector<uint32_t>* row_ids,
+                                    std::vector<double>* metric) const {
+  row_ids->clear();
+  metric->clear();
+  const size_t count = population.Count();
+  row_ids->reserve(count);
+  metric->reserve(count);
+  const auto& column = dataset().metric_column();
+  const uint32_t offset = row_offset();
+  population.ForEachSetBit([&](uint32_t row) {
+    row_ids->push_back(row);
+    metric->push_back(column[offset + row]);
+  });
+}
+
+ContextVec PopulationProbe::ExactContextOf(uint32_t row) const {
+  const Schema& s = schema();
+  ContextVec c(s.total_values());
+  for (size_t a = 0; a < s.num_attributes(); ++a) {
+    c.Set(s.value_offset(a) + RowCode(row, a));
+  }
+  return c;
+}
+
+bool PopulationProbe::ContextContainsRow(const ContextVec& c,
+                                         uint32_t row) const {
+  const Schema& s = schema();
+  for (size_t a = 0; a < s.num_attributes(); ++a) {
+    if (!c.Test(s.value_offset(a) + RowCode(row, a))) return false;
+  }
+  return true;
+}
+
 PopulationView PopulationProbe::ViewOf(const ContextVec& c,
                                        PopulationScratch* scratch) const {
   PopulationInto(c, &scratch->population, &scratch->attr_union);
-  scratch->row_ids.clear();
-  scratch->metric.clear();
-  const size_t count = scratch->population.Count();
-  scratch->row_ids.reserve(count);
-  scratch->metric.reserve(count);
-  const auto& metric = dataset().metric_column();
-  const uint32_t offset = row_offset();
-  scratch->population.ForEachSetBit([&](uint32_t row) {
-    scratch->row_ids.push_back(row);
-    scratch->metric.push_back(metric[offset + row]);
-  });
+  GatherMetrics(scratch->population, &scratch->row_ids, &scratch->metric);
   return PopulationView(&scratch->population, scratch->row_ids,
                         scratch->metric);
 }
@@ -77,24 +111,19 @@ std::vector<double> PopulationProbe::MetricOf(const ContextVec& c) const {
 bool PopulationProbe::MetricWithTarget(const ContextVec& c, uint32_t v_row,
                                        std::vector<double>* metric,
                                        size_t* v_position) const {
-  metric->clear();
   PopulationInto(c, &t_scratch.population, &t_scratch.attr_union);
   const BitVector& pop = t_scratch.population;
-  if (v_row >= pop.size() || !pop.Test(v_row)) return false;
-  metric->reserve(pop.Count());
-  const auto& column = dataset().metric_column();
-  const uint32_t offset = row_offset();
-  size_t pos = 0;
-  bool found = false;
-  pop.ForEachSetBit([&](uint32_t row) {
-    if (row == v_row) {
-      *v_position = pos;
-      found = true;
-    }
-    metric->push_back(column[offset + row]);
-    ++pos;
-  });
-  return found;
+  if (v_row >= pop.size() || !pop.Test(v_row)) {
+    metric->clear();
+    return false;
+  }
+  GatherMetrics(pop, &t_scratch.row_ids, metric);
+  // row_ids is ascending and v_row is set in the population, so the
+  // target's position is exactly its lower bound.
+  const auto it = std::lower_bound(t_scratch.row_ids.begin(),
+                                   t_scratch.row_ids.end(), v_row);
+  *v_position = static_cast<size_t>(it - t_scratch.row_ids.begin());
+  return true;
 }
 
 PopulationIndex::PopulationIndex(const Dataset& dataset, IndexStorage storage)

@@ -10,6 +10,8 @@
 
 namespace pcor {
 
+class ThreadPool;
+
 /// \brief How the index stores its per-(attribute, value) bitmaps.
 ///
 /// kCompressed (the default) uses roaring-style CompressedBitmap containers
@@ -83,8 +85,12 @@ class PopulationProbe {
  public:
   virtual ~PopulationProbe() = default;
 
-  /// \brief The full backing dataset (shards report their slice through
-  /// num_rows(), never through a narrowed dataset).
+  /// \brief The backing dataset. Shards report their slice through
+  /// num_rows(), never through a narrowed dataset; composed probes whose
+  /// rows live in several datasets (the streaming layer's segmented probe)
+  /// return a zero-row schema anchor instead. Callers must therefore reach
+  /// row data through RowCode / RowMetric / GatherMetrics, never through
+  /// dataset() — the anchor carries only the schema.
   virtual const Dataset& dataset() const = 0;
   const Schema& schema() const { return dataset().schema(); }
   /// \brief Rows this probe spans — the local row space of its bitmaps.
@@ -114,6 +120,36 @@ class PopulationProbe {
   /// thread_local buffer; the reference is invalidated by the next
   /// ValueBitmap call on the same thread.
   virtual const BitVector& ValueBitmap(size_t attr, size_t value) const = 0;
+
+  /// \brief Attribute code of local row `row` — the probe-level row
+  /// accessor call sites use instead of dataset().code(), so probes whose
+  /// rows are scattered over several datasets answer correctly.
+  virtual uint32_t RowCode(uint32_t row, size_t attr) const;
+
+  /// \brief Metric value of local row `row` (same contract as RowCode).
+  virtual double RowMetric(uint32_t row) const;
+
+  /// \brief Replaces `*row_ids` / `*metric` with the set rows of
+  /// `population` (ascending, local row space) and their metric values —
+  /// the materialization primitive behind ViewOf / MetricOf /
+  /// MetricWithTarget. The default walks dataset().metric_column();
+  /// composed probes override it to resolve rows per segment.
+  virtual void GatherMetrics(const BitVector& population,
+                             std::vector<uint32_t>* row_ids,
+                             std::vector<double>* metric) const;
+
+  /// \brief Shared worker pool for scatter probes, or nullptr when this
+  /// probe runs serially. The engine reuses it for the intra-release
+  /// scoring loop so one release never owns two pools.
+  virtual ThreadPool* probe_pool() const { return nullptr; }
+
+  /// \brief The exact context of local row `row` — one chosen value per
+  /// attribute, the row's own codes (context_ops::ExactContext lifted to
+  /// the probe so it works for composed probes too).
+  ContextVec ExactContextOf(uint32_t row) const;
+
+  /// \brief Whether context `c` selects local row `row`.
+  bool ContextContainsRow(const ContextVec& c, uint32_t row) const;
 
   /// \brief Materializes D_C (bitmap, row ids, metric values) into
   /// `*scratch` and returns a view over it — the zero-allocation probe.

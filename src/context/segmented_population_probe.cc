@@ -1,0 +1,272 @@
+#include "src/context/segmented_population_probe.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/logging.h"
+#include "src/context/sharded_population_index.h"
+
+namespace pcor {
+
+namespace {
+// Per-worker scratch for segment sub-probes, mirroring the sharded
+// index's t_shard_scratch: each segment task fills it and deposits the
+// bits out before returning, so a worker reusing it across tasks can
+// never mix results.
+thread_local PopulationScratch t_segment_scratch;
+// Per-thread count buffer. Segment count is data-defined (unbounded with
+// compaction disabled), so unlike the sharded index's fixed stack array
+// this grows. Safe under nested ParallelFor: a thread blocked in an outer
+// loop only drains chunks of its *own* loop, so its buffer is never
+// reused by an unrelated gather mid-sum.
+thread_local std::vector<size_t> t_segment_counts;
+
+/// \brief Deposits `bits` (OR) into `*word`. `shared` marks the words a
+/// neighboring segment's deposit may also touch — the unaligned edge
+/// words — which go through atomic fetch_or; interior words have a single
+/// writer over a zeroed destination.
+inline void DepositWord(uint64_t* word, uint64_t bits, bool shared) {
+  if (bits == 0) return;
+  if (shared) {
+    std::atomic_ref<uint64_t>(*word).fetch_or(bits,
+                                              std::memory_order_relaxed);
+  } else {
+    *word |= bits;
+  }
+}
+
+/// \brief ORs the first `count` bits of `src` into `*dst` starting at bit
+/// `dst_begin`. Seal points are arbitrary row counts, so unlike the
+/// word-aligned shard gather every source word lands across up to two
+/// destination words (shift + carry). OR over disjoint bit sets commutes,
+/// so concurrent per-segment deposits produce the same bits in any order.
+/// Relies on the BitVector invariant that pad bits beyond size() are zero
+/// (the final carry of a segment whose bits end mid-word is zero).
+void OrShiftedInto(const BitVector& src, size_t count, size_t dst_begin,
+                   BitVector* dst) {
+  if (count == 0) return;
+  const uint64_t* s = src.data();
+  uint64_t* d = dst->mutable_data();
+  const size_t src_words = (count + 63) / 64;
+  const size_t base = dst_begin / 64;
+  const size_t last = (dst_begin + count - 1) / 64;
+  const size_t shift = dst_begin % 64;
+  if (shift == 0) {
+    for (size_t i = 0; i < src_words; ++i) {
+      const size_t w = base + i;
+      DepositWord(d + w, s[i], w == base || w == last);
+    }
+    return;
+  }
+  uint64_t carry = 0;
+  for (size_t i = 0; i < src_words; ++i) {
+    const size_t w = base + i;
+    DepositWord(d + w, (s[i] << shift) | carry, w == base || w == last);
+    carry = s[i] >> (64 - shift);
+  }
+  // The carry of the final source word is in-range only when the shifted
+  // span spills into one more destination word; otherwise it is all pad
+  // bits (zero) and the deposit is skipped.
+  if (base + src_words <= last) DepositWord(d + base + src_words, carry, true);
+}
+
+}  // namespace
+
+std::shared_ptr<const PopulationSegment> MakeSegment(
+    uint32_t row_begin, std::shared_ptr<const Dataset> rows,
+    IndexStorage storage) {
+  PCOR_CHECK(rows != nullptr && rows->num_rows() > 0)
+      << "a segment must hold at least one row";
+  auto segment = std::make_shared<PopulationSegment>();
+  segment->row_begin = row_begin;
+  segment->index = std::make_unique<const PopulationIndex>(*rows, storage);
+  segment->rows = std::move(rows);
+  return segment;
+}
+
+void MergeSegments(
+    std::vector<std::shared_ptr<const PopulationSegment>>* segments,
+    size_t begin, size_t end, IndexStorage storage) {
+  PCOR_CHECK(begin < end && end <= segments->size())
+      << "merge range outside segment list";
+  if (end - begin == 1) return;
+  const Schema& schema = (*segments)[begin]->rows->schema();
+  auto merged = std::make_shared<Dataset>(schema);
+  Row row;
+  row.codes.resize(schema.num_attributes());
+  for (size_t s = begin; s < end; ++s) {
+    const Dataset& part = *(*segments)[s]->rows;
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        row.codes[a] = part.code(r, a);
+      }
+      row.metric = part.metric(r);
+      merged->AppendRow(row).CheckOK();
+    }
+  }
+  auto segment =
+      MakeSegment((*segments)[begin]->row_begin, std::move(merged), storage);
+  segments->erase(segments->begin() + static_cast<ptrdiff_t>(begin) + 1,
+                  segments->begin() + static_cast<ptrdiff_t>(end));
+  (*segments)[begin] = std::move(segment);
+}
+
+SegmentedPopulationProbe::SegmentedPopulationProbe(
+    Schema schema,
+    std::vector<std::shared_ptr<const PopulationSegment>> segments,
+    IndexStorage storage, size_t probe_threads)
+    : anchor_(std::move(schema)),
+      storage_(storage),
+      segments_(std::move(segments)) {
+  probe_threads_ =
+      probe_threads == 0 ? DefaultThreadCount() : probe_threads;
+  seg_begin_.reserve(segments_.size() + 1);
+  uint32_t next = 0;
+  for (const auto& segment : segments_) {
+    PCOR_CHECK(segment != nullptr && segment->num_rows() > 0)
+        << "segments must be non-null and non-empty";
+    PCOR_CHECK(segment->row_begin == next)
+        << "segments must be contiguous from global row 0";
+    seg_begin_.push_back(segment->row_begin);
+    next = segment->row_end();
+  }
+  seg_begin_.push_back(next);
+  total_rows_ = next;
+  // Small streams probe serially: a per-segment task dispatch only pays
+  // for itself once the word loops dominate — the same threshold that
+  // caps the sharded index's automatic shard count.
+  parallel_probes_ = probe_threads_ > 1 && segments_.size() > 1 &&
+                     total_rows_ >= kMinRowsPerShard;
+}
+
+ThreadPool* SegmentedPopulationProbe::probe_pool() const {
+  if (probe_threads_ <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(probe_threads_);
+  return pool_.get();
+}
+
+void SegmentedPopulationProbe::RunOverSegments(
+    const std::function<void(size_t)>& fn) const {
+  const size_t n = segments_.size();
+  if (!parallel_probes_) {
+    for (size_t s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  probe_pool()->ParallelFor(n, probe_threads_, fn);
+}
+
+size_t SegmentedPopulationProbe::SegmentOf(uint32_t row) const {
+  PCOR_CHECK(row < total_rows_) << "row outside the sealed stream";
+  // seg_begin_ is strictly increasing (segments are non-empty), so the
+  // covering segment is the last boundary <= row.
+  const auto it =
+      std::upper_bound(seg_begin_.begin(), seg_begin_.end(), row);
+  return static_cast<size_t>(it - seg_begin_.begin()) - 1;
+}
+
+PopulationIndexStats SegmentedPopulationProbe::MemoryStats() const {
+  PopulationIndexStats stats;
+  for (const auto& segment : segments_) {
+    const PopulationIndexStats s = segment->index->MemoryStats();
+    stats.bitmap_bytes += s.bitmap_bytes;
+    stats.empty_chunks += s.empty_chunks;
+    stats.array_chunks += s.array_chunks;
+    stats.dense_chunks += s.dense_chunks;
+  }
+  return stats;
+}
+
+void SegmentedPopulationProbe::PopulationInto(const ContextVec& c,
+                                              BitVector* population,
+                                              BitVector* attr_union) const {
+  if (segments_.size() == 1) {
+    // One segment covers [0, num_rows) in an identical layout — delegate.
+    segments_[0]->index->PopulationInto(c, population, attr_union);
+    return;
+  }
+  population->Assign(total_rows_, false);
+  attr_union->Assign(total_rows_, false);
+  RunOverSegments([&](size_t s) {
+    const PopulationSegment& segment = *segments_[s];
+    segment.index->PopulationInto(c, &t_segment_scratch.population,
+                                  &t_segment_scratch.attr_union);
+    OrShiftedInto(t_segment_scratch.population, segment.num_rows(),
+                  segment.row_begin, population);
+  });
+}
+
+size_t SegmentedPopulationProbe::PopulationCount(const ContextVec& c) const {
+  const size_t n = segments_.size();
+  if (n == 1) return segments_[0]->index->PopulationCount(c);
+  auto& counts = t_segment_counts;
+  if (counts.size() < n) counts.resize(n);
+  RunOverSegments(
+      [&](size_t s) { counts[s] = segments_[s]->index->PopulationCount(c); });
+  // Gather in ascending segment order — the uniform canonical-merge
+  // discipline (integer sums over disjoint ranges commute anyway).
+  size_t total = 0;
+  for (size_t s = 0; s < n; ++s) total += counts[s];
+  return total;
+}
+
+size_t SegmentedPopulationProbe::OverlapCount(const ContextVec& c1,
+                                              const ContextVec& c2) const {
+  const size_t n = segments_.size();
+  if (n == 1) return segments_[0]->index->OverlapCount(c1, c2);
+  auto& counts = t_segment_counts;
+  if (counts.size() < n) counts.resize(n);
+  RunOverSegments([&](size_t s) {
+    counts[s] = segments_[s]->index->OverlapCount(c1, c2);
+  });
+  size_t total = 0;
+  for (size_t s = 0; s < n; ++s) total += counts[s];
+  return total;
+}
+
+const BitVector& SegmentedPopulationProbe::ValueBitmap(size_t attr,
+                                                       size_t value) const {
+  if (segments_.size() == 1) return segments_[0]->index->ValueBitmap(attr, value);
+  thread_local BitVector t_concat;
+  t_concat.Assign(total_rows_, false);
+  // Serial: a test/bench accessor, and each segment's compressed
+  // ValueBitmap materializes into a shared thread_local, so the deposit
+  // must complete before the next segment's call overwrites it.
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const PopulationSegment& segment = *segments_[s];
+    OrShiftedInto(segment.index->ValueBitmap(attr, value),
+                  segment.num_rows(), segment.row_begin, &t_concat);
+  }
+  return t_concat;
+}
+
+uint32_t SegmentedPopulationProbe::RowCode(uint32_t row, size_t attr) const {
+  const PopulationSegment& segment = *segments_[SegmentOf(row)];
+  return segment.rows->code(row - segment.row_begin, attr);
+}
+
+double SegmentedPopulationProbe::RowMetric(uint32_t row) const {
+  const PopulationSegment& segment = *segments_[SegmentOf(row)];
+  return segment.rows->metric(row - segment.row_begin);
+}
+
+void SegmentedPopulationProbe::GatherMetrics(
+    const BitVector& population, std::vector<uint32_t>* row_ids,
+    std::vector<double>* metric) const {
+  row_ids->clear();
+  metric->clear();
+  const size_t count = population.Count();
+  row_ids->reserve(count);
+  metric->reserve(count);
+  // Set bits arrive ascending, so one monotone cursor resolves each row's
+  // segment without a per-row binary search.
+  size_t s = 0;
+  population.ForEachSetBit([&](uint32_t row) {
+    while (row >= seg_begin_[s + 1]) ++s;
+    const PopulationSegment& segment = *segments_[s];
+    row_ids->push_back(row);
+    metric->push_back(segment.rows->metric(row - segment.row_begin));
+  });
+}
+
+}  // namespace pcor

@@ -99,8 +99,8 @@ class ShardedPopulationIndex : public PopulationProbe {
   /// \brief The shared worker pool probes scatter on, created on first use
   /// (never for a single-shard index probed serially). The engine reuses it
   /// for the intra-release scoring loop so one release never owns two
-  /// pools. Thread-safe.
-  ThreadPool* probe_pool() const;
+  /// pools. Thread-safe; never null.
+  ThreadPool* probe_pool() const override;
 
  private:
   /// \brief Runs fn(s) for every shard: serially for a single shard,

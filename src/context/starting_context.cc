@@ -5,8 +5,7 @@ namespace pcor {
 namespace {
 
 ContextVec ExactOf(const OutlierVerifier& verifier, uint32_t v_row) {
-  return context_ops::ExactContext(verifier.index().schema(),
-                                   verifier.index().dataset(), v_row);
+  return verifier.index().ExactContextOf(v_row);
 }
 
 bool TryGreedyGrow(const OutlierVerifier& verifier, uint32_t v_row,
@@ -47,13 +46,12 @@ bool TryGreedyGrow(const OutlierVerifier& verifier, uint32_t v_row,
 ContextVec RandomContainingContext(const OutlierVerifier& verifier,
                                    uint32_t v_row, Rng* rng) {
   const Schema& schema = verifier.index().schema();
-  const Dataset& dataset = verifier.index().dataset();
   ContextVec c(schema.total_values());
   for (size_t bit = 0; bit < c.num_bits(); ++bit) {
     if (rng->NextBernoulli(0.5)) c.Set(bit);
   }
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    c.Set(schema.value_offset(a) + dataset.code(v_row, a));
+    c.Set(schema.value_offset(a) + verifier.index().RowCode(v_row, a));
   }
   return c;
 }
@@ -93,8 +91,7 @@ Result<ContextVec> FindStartingContext(const OutlierVerifier& verifier,
                                        uint32_t v_row,
                                        const StartingContextOptions& options,
                                        Rng* rng) {
-  const Dataset& dataset = verifier.index().dataset();
-  if (v_row >= dataset.num_rows()) {
+  if (v_row >= verifier.index().num_rows()) {
     return Status::OutOfRange("v_row outside dataset");
   }
   ContextVec found;

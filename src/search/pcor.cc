@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "src/common/logging.h"
 #include "src/common/simd.h"
 #include "src/common/stats.h"
 #include "src/common/string_util.h"
@@ -33,8 +34,10 @@ PcorEngine::PcorEngine(const Dataset& dataset,
                        VerifierOptions verifier_options,
                        ShardedIndexOptions index_options)
     : dataset_(&dataset),
-      index_(dataset, index_options),
-      verifier_(index_, detector, verifier_options) {}
+      probe_(std::make_shared<const ShardedPopulationIndex>(dataset,
+                                                            index_options)),
+      sharded_(static_cast<const ShardedPopulationIndex*>(probe_.get())),
+      verifier_(*probe_, detector, verifier_options) {}
 
 PcorEngine::PcorEngine(const Dataset& dataset,
                        const OutlierDetector& detector,
@@ -42,9 +45,39 @@ PcorEngine::PcorEngine(const Dataset& dataset,
                        VerifierOptions verifier_options,
                        ShardedIndexOptions index_options)
     : dataset_(&dataset),
-      index_(dataset, index_options),
-      verifier_(index_, detector, std::move(memo), epoch,
+      probe_(std::make_shared<const ShardedPopulationIndex>(dataset,
+                                                            index_options)),
+      sharded_(static_cast<const ShardedPopulationIndex*>(probe_.get())),
+      verifier_(*probe_, detector, std::move(memo), epoch,
                 verifier_options) {}
+
+namespace {
+std::shared_ptr<const PopulationProbe> CheckedProbe(
+    std::shared_ptr<const PopulationProbe> probe) {
+  PCOR_CHECK(probe != nullptr) << "probe-backed engine requires a probe";
+  return probe;
+}
+}  // namespace
+
+PcorEngine::PcorEngine(std::shared_ptr<const PopulationProbe> probe,
+                       const OutlierDetector& detector,
+                       std::shared_ptr<VerifierMemo> memo, uint64_t epoch,
+                       VerifierOptions verifier_options)
+    : probe_(CheckedProbe(std::move(probe))),
+      verifier_(*probe_, detector, std::move(memo), epoch,
+                verifier_options) {}
+
+const Dataset& PcorEngine::dataset() const {
+  PCOR_CHECK(dataset_ != nullptr)
+      << "probe-backed engine has no flat dataset; use probe()";
+  return *dataset_;
+}
+
+const ShardedPopulationIndex& PcorEngine::population_index() const {
+  PCOR_CHECK(sharded_ != nullptr)
+      << "probe-backed engine has no sharded index; use probe()";
+  return *sharded_;
+}
 
 Result<PcorRelease> PcorEngine::Release(uint32_t v_row,
                                         const PcorOptions& options,
@@ -73,7 +106,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
     const UtilityFunction& utility, Rng* rng) const {
   WallTimer timer;
   PCOR_RETURN_NOT_OK(ValidatePcorOptions(options));
-  if (v_row >= dataset_->num_rows()) {
+  if (v_row >= probe_->num_rows()) {
     return Status::OutOfRange("v_row outside dataset");
   }
 
@@ -122,12 +155,14 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
   const size_t score_threads = options.intra_release_threads == 0
                                    ? DefaultThreadCount()
                                    : options.intra_release_threads;
-  if (score_threads > 1 && scores.size() > 1) {
-    index_.probe_pool()->ParallelFor(scores.size(), score_threads,
-                                     [&](size_t i) {
-                                       scores[i] = utility.Score(
-                                           outcome.samples[i], v_row);
-                                     });
+  ThreadPool* score_pool =
+      score_threads > 1 && scores.size() > 1 ? probe_->probe_pool() : nullptr;
+  if (score_pool != nullptr) {
+    score_pool->ParallelFor(scores.size(), score_threads,
+                            [&](size_t i) {
+                              scores[i] = utility.Score(
+                                  outcome.samples[i], v_row);
+                            });
   } else {
     for (size_t i = 0; i < outcome.samples.size(); ++i) {
       scores[i] = utility.Score(outcome.samples[i], v_row);
@@ -138,7 +173,7 @@ Result<PcorRelease> PcorEngine::ReleaseWithUtility(
 
   release.context = outcome.samples[pick];
   release.description =
-      context_ops::Describe(dataset_->schema(), release.context);
+      context_ops::Describe(probe_->schema(), release.context);
   release.epsilon1 = eps1;
   release.epsilon_spent =
       TotalForEpsilon1(options.sampler, eps1, options.num_samples);

@@ -198,6 +198,19 @@ class PcorEngine {
              VerifierOptions verifier_options = {},
              ShardedIndexOptions index_options = {});
 
+  /// \brief Probe-backed streaming construction: the engine runs over an
+  /// externally built PopulationProbe — the streaming layer's
+  /// SegmentedPopulationProbe over shared epoch segments — instead of
+  /// building its own index, held alive by shared ownership. Shares the
+  /// epoch-keyed `memo` like the constructor above; neither `probe` nor
+  /// `memo` may be null. dataset() / population_index() are unavailable
+  /// on a probe-backed engine (row data lives behind the probe's row
+  /// accessors); everything else behaves identically.
+  PcorEngine(std::shared_ptr<const PopulationProbe> probe,
+             const OutlierDetector& detector,
+             std::shared_ptr<VerifierMemo> memo, uint64_t epoch,
+             VerifierOptions verifier_options = {});
+
   /// \brief Releases a private valid context for row `v_row`.
   ///
   /// Steps: (1) find C_V, (2) derive eps1 from the OCDP budget and the
@@ -250,13 +263,23 @@ class PcorEngine {
     return SplitMix64Mix(seed + 0x9e3779b97f4a7c15ULL * (index + 1));
   }
 
-  const Dataset& dataset() const { return *dataset_; }
-  const ShardedPopulationIndex& population_index() const { return index_; }
+  /// \brief The backing dataset — dataset-built engines only; CHECK-fails
+  /// on a probe-backed engine (its rows live in segments, reached through
+  /// the probe's row accessors).
+  const Dataset& dataset() const;
+  /// \brief The engine-owned sharded index — dataset-built engines only;
+  /// CHECK-fails on a probe-backed engine.
+  const ShardedPopulationIndex& population_index() const;
+  /// \brief The population probe every release runs against (always set).
+  const PopulationProbe& probe() const { return *probe_; }
   const OutlierVerifier& verifier() const { return verifier_; }
 
  private:
-  const Dataset* dataset_;
-  ShardedPopulationIndex index_;
+  const Dataset* dataset_ = nullptr;  // null for probe-backed engines
+  std::shared_ptr<const PopulationProbe> probe_;
+  // Downcast of probe_ when this engine built its own sharded index;
+  // null for probe-backed construction.
+  const ShardedPopulationIndex* sharded_ = nullptr;
   OutlierVerifier verifier_;
 };
 

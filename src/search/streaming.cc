@@ -1,10 +1,78 @@
 #include "src/search/streaming.h"
 
+#include <limits>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 
 namespace pcor {
+
+namespace {
+
+/// \brief Applies the on-seal compaction policy to `*segments`, returning
+/// the number of merges performed. Deterministic: depends only on the
+/// segment row counts, never on timing.
+uint64_t CompactSegments(
+    std::vector<std::shared_ptr<const PopulationSegment>>* segments,
+    const CompactionOptions& policy, IndexStorage storage) {
+  uint64_t merges = 0;
+  // Rule 1 (doubling): merge the maximal trailing run of small segments,
+  // but only once its combined rows reach min_segment_rows — the merged
+  // result then leaves the "small" class, so each sealed row is re-copied
+  // O(log total) times overall instead of once per subsequent seal.
+  if (policy.min_segment_rows > 0 && segments->size() >= 2) {
+    size_t run_begin = segments->size();
+    size_t run_rows = 0;
+    while (run_begin > 0 &&
+           (*segments)[run_begin - 1]->num_rows() < policy.min_segment_rows) {
+      --run_begin;
+      run_rows += (*segments)[run_begin]->num_rows();
+    }
+    if (segments->size() - run_begin >= 2 &&
+        run_rows >= policy.min_segment_rows) {
+      MergeSegments(segments, run_begin, segments->size(), storage);
+      ++merges;
+    }
+  }
+  // Rule 2 (fan-out bound): smallest-adjacent-pair merges until the list
+  // fits. Pair sizes roughly double as merges cascade, so the amortized
+  // per-row cost stays logarithmic here too.
+  if (policy.max_segments > 0) {
+    while (segments->size() > policy.max_segments) {
+      size_t best = 0;
+      size_t best_rows = std::numeric_limits<size_t>::max();
+      for (size_t s = 0; s + 1 < segments->size(); ++s) {
+        const size_t rows =
+            (*segments)[s]->num_rows() + (*segments)[s + 1]->num_rows();
+        if (rows < best_rows) {
+          best = s;
+          best_rows = rows;
+        }
+      }
+      MergeSegments(segments, best, best + 2, storage);
+      ++merges;
+    }
+  }
+  return merges;
+}
+
+}  // namespace
+
+bool DefaultSegmentedSeal() {
+  return strings::EnvSizeOr("PCOR_SEGMENTED_SEAL", 1) != 0;
+}
+
+Row EpochSnapshot::RowAt(uint32_t row) const {
+  PCOR_CHECK(row < epoch) << "row outside the sealed prefix";
+  for (const auto& segment : segments) {
+    if (row < segment->row_end()) {
+      return segment->rows->GetRow(row - segment->row_begin);
+    }
+  }
+  PCOR_CHECK(false) << "segments do not cover the sealed prefix";
+  return Row{};
+}
 
 StreamingPcorEngine::StreamingPcorEngine(Schema schema,
                                          const OutlierDetector& detector,
@@ -13,16 +81,13 @@ StreamingPcorEngine::StreamingPcorEngine(Schema schema,
       detector_(&detector),
       options_(options),
       memo_(std::make_shared<VerifierMemo>(options.verifier)) {
-  // Epoch 0: an empty sealed view. The dataset exists (schema attached,
-  // zero rows) so Pin() is total; the engine is null — nothing to index.
-  auto initial = std::make_shared<EpochSnapshot>();
-  initial->epoch = 0;
-  initial->dataset = std::make_shared<const Dataset>(schema_);
-  snapshot_ = std::move(initial);
+  // Epoch 0: an empty sealed view — no segments, no probe, no engine.
+  // Pin() is still total; releases fail with kFailedPrecondition.
+  snapshot_ = std::make_shared<EpochSnapshot>();
 }
 
-Status StreamingPcorEngine::Append(const std::vector<uint32_t>& codes,
-                                   double metric) {
+Status StreamingPcorEngine::ValidateRow(
+    const std::vector<uint32_t>& codes) const {
   // Validate eagerly, at the point the producer can still handle the
   // error — a bad row must never poison a later SealEpoch.
   if (codes.size() != schema_.num_attributes()) {
@@ -38,6 +103,12 @@ Status StreamingPcorEngine::Append(const std::vector<uint32_t>& codes,
           schema_.attribute(i).domain_size()));
     }
   }
+  return Status::OK();
+}
+
+Status StreamingPcorEngine::Append(const std::vector<uint32_t>& codes,
+                                   double metric) {
+  PCOR_RETURN_NOT_OK(ValidateRow(codes));
   std::lock_guard<std::mutex> lock(mu_);
   tail_.push_back(Row{codes, metric});
   ++appends_;
@@ -45,45 +116,80 @@ Status StreamingPcorEngine::Append(const std::vector<uint32_t>& codes,
 }
 
 Status StreamingPcorEngine::AppendRows(std::span<const Row> rows) {
+  // Validate the whole span before buffering anything, so failure leaves
+  // the tail exactly as it was — the atomicity the contract promises.
   for (const Row& row : rows) {
-    PCOR_RETURN_NOT_OK(Append(row));
+    PCOR_RETURN_NOT_OK(ValidateRow(row.codes));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tail_.reserve(tail_.size() + rows.size());
+  for (const Row& row : rows) {
+    tail_.push_back(row);
+    ++appends_;
   }
   return Status::OK();
 }
 
 uint64_t StreamingPcorEngine::SealEpoch() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tail_.empty()) return snapshot_->epoch;
+  // Seals serialize with each other only; appends keep landing in the
+  // (fresh) tail while this seal indexes the rows it grabbed.
+  std::lock_guard<std::mutex> seal_lock(seal_mu_);
+  std::vector<Row> tail;
+  std::shared_ptr<const EpochSnapshot> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tail_.empty()) return snapshot_->epoch;
+    tail.swap(tail_);
+    base = snapshot_;
+  }
 
-  // Copy-on-seal: the new epoch's dataset is the old sealed prefix plus
-  // the tail, built fresh so the previous snapshot stays untouched for
-  // whoever still pins it. Rows were validated at Append, so AppendRow
-  // cannot fail here.
-  auto dataset = std::make_shared<Dataset>(*snapshot_->dataset);
-  for (const Row& row : tail_) dataset->AppendRow(row).CheckOK();
-  tail_.clear();
+  // Build the new epoch outside mu_. Rows were validated at Append, so
+  // AppendRow cannot fail here. The base snapshot cannot go stale under
+  // us: only SealEpoch replaces snapshot_, and seal_mu_ is held.
+  auto tail_rows = std::make_shared<Dataset>(schema_);
+  for (const Row& row : tail) tail_rows->AppendRow(row).CheckOK();
 
   auto next = std::make_shared<EpochSnapshot>();
-  next->epoch = dataset->num_rows();
+  next->epoch = base->epoch + tail.size();
+  next->segments = base->segments;  // structural sharing: shared_ptr copies
+  next->segments.push_back(MakeSegment(static_cast<uint32_t>(base->epoch),
+                                       std::move(tail_rows),
+                                       options_.index.storage));
+  if (options_.segmented_seal) {
+    compactions_ += CompactSegments(&next->segments, options_.compaction,
+                                    options_.index.storage);
+  } else if (next->segments.size() > 1) {
+    // Copy-on-seal ablation: one flat segment over the whole sealed
+    // prefix, rebuilt every seal — O(history), the pre-segment baseline.
+    MergeSegments(&next->segments, 0, next->segments.size(),
+                  options_.index.storage);
+  }
+  next->probe = std::make_shared<const SegmentedPopulationProbe>(
+      schema_, next->segments, options_.index.storage,
+      options_.index.probe_threads);
   next->engine = std::make_shared<const PcorEngine>(
-      *dataset, *detector_, memo_, next->epoch, options_.verifier,
-      options_.index);
-  next->dataset = std::move(dataset);
-  snapshot_ = std::move(next);
-  ++seals_;
+      next->probe, *detector_, memo_, next->epoch, options_.verifier);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = next;
+    ++seals_;
+  }
 
   // Retire epochs that fell out of the retain window. Safe under pin —
   // swept epochs recompute on lookup instead of hitting — so this is
   // memory reclamation only; correctness lives in the (epoch, context)
-  // cache key.
-  sealed_epochs_.push_back(snapshot_->epoch);
+  // cache key. With retain_epochs == 0 the window is unused entirely:
+  // tracking it would only grow the deque without bound.
   if (options_.retain_epochs > 0) {
+    sealed_epochs_.push_back(next->epoch);
     while (sealed_epochs_.size() > options_.retain_epochs) {
       sealed_epochs_.pop_front();
     }
+    retained_epochs_.store(sealed_epochs_.size(), std::memory_order_relaxed);
     memo_->InvalidateEpochsBefore(sealed_epochs_.front());
   }
-  return snapshot_->epoch;
+  return next->epoch;
 }
 
 std::shared_ptr<const EpochSnapshot> StreamingPcorEngine::Pin() const {
@@ -165,7 +271,10 @@ StreamingStats StreamingPcorEngine::stats() const {
     stats.buffered_rows = tail_.size();
     stats.appends = appends_;
     stats.seals = seals_;
+    stats.segments = snapshot_->segments.size();
   }
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.retained_epochs = retained_epochs_.load(std::memory_order_relaxed);
   stats.releases = accountant_.releases();
   stats.cumulative_epsilon = accountant_.cumulative_epsilon();
   stats.naive_epsilon = accountant_.naive_epsilon();

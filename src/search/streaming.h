@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -7,19 +8,44 @@
 #include <span>
 #include <vector>
 
+#include "src/context/segmented_population_probe.h"
 #include "src/search/pcor.h"
 #include "src/search/tree_accountant.h"
 
 namespace pcor {
+
+/// \brief Segmented seals on by default; the PCOR_SEGMENTED_SEAL env var
+/// set to 0 selects the copy-on-seal ablation (every seal merges the
+/// whole sealed prefix into one segment — the O(history) baseline the
+/// seal-cost bench compares against).
+bool DefaultSegmentedSeal();
+
+/// \brief On-seal segment compaction policy. Compaction runs inside
+/// SealEpoch, outside the append lock, and only ever replaces segments in
+/// the *new* snapshot's list — pinned snapshots keep their own segment
+/// vectors untouched (structural sharing means their segments stay alive
+/// regardless of later merges).
+struct CompactionOptions {
+  /// A maximal trailing run of segments each smaller than this merges
+  /// into one once the run's combined rows reach it — LSM-style doubling
+  /// that keeps seal cost amortized O(log total) per sealed row even at
+  /// seal-per-append cadence. 0 disables the rule.
+  size_t min_segment_rows = 1024;
+  /// Hard bound on probe fan-out: while the list exceeds this, the
+  /// adjacent pair with the fewest combined rows merges (leftmost on
+  /// ties). 0 disables the bound.
+  size_t max_segments = 64;
+};
 
 /// \brief Construction knobs for StreamingPcorEngine.
 struct StreamingOptions {
   /// Verifier memo configuration (byte budget, shards, ...). One memo is
   /// shared by every epoch's verifier, keyed by (epoch, context).
   VerifierOptions verifier;
-  /// Per-epoch population index construction (shard count, storage,
-  /// probe threads) — same knobs as a classic engine, PCOR_SHARD_COUNT /
-  /// PCOR_COMPRESSED_INDEX included.
+  /// Per-epoch index construction. `storage` and `probe_threads` apply to
+  /// every segment index / the segmented probe (PCOR_COMPRESSED_INDEX
+  /// included); `shard_count` does not apply — seal points, not computed
+  /// splits, define the segment layout.
   ShardedIndexOptions index;
   /// How many most-recent sealed epochs keep their memo entries across a
   /// seal. Sealing epoch e sweeps every entry older than the retain
@@ -31,19 +57,38 @@ struct StreamingOptions {
   /// recompute instead of hit — so this knob trades memory for warmth,
   /// never correctness.
   size_t retain_epochs = 2;
+  /// Incremental seals (one new segment per seal, O(tail)) when true —
+  /// the default, overridable via PCOR_SEGMENTED_SEAL. False selects the
+  /// copy-on-seal ablation: every seal rebuilds one flat segment over the
+  /// whole sealed prefix, O(history), bit-identical answers.
+  bool segmented_seal = DefaultSegmentedSeal();
+  /// Segment compaction policy (ignored under copy-on-seal, which always
+  /// holds exactly one segment).
+  CompactionOptions compaction;
 };
 
 /// \brief One immutable, versioned view of the stream: everything sealed
 /// as of `epoch` (= the sealed row count, so epoch ids are totally ordered
 /// and self-describing). Pinning a snapshot (holding the shared_ptr) keeps
-/// its dataset and engine alive while appends and later seals continue —
-/// the snapshot-consistency half of the streaming contract.
+/// its segments, probe and engine alive while appends and later seals
+/// continue — the snapshot-consistency half of the streaming contract.
+/// Snapshots share unchanged segments structurally: sealing copies the
+/// segment *list* (cheap shared_ptr vector), never segment contents.
 struct EpochSnapshot {
   uint64_t epoch = 0;
-  std::shared_ptr<const Dataset> dataset;
-  /// Null iff epoch == 0 (nothing sealed yet — there is no data to build
-  /// an index over, and no release can run).
+  /// The sealed rows, in stream order, partitioned at (compacted) seal
+  /// points. Empty iff epoch == 0.
+  std::vector<std::shared_ptr<const PopulationSegment>> segments;
+  /// Probe composing `segments` into one global row space. Null iff
+  /// epoch == 0 (nothing sealed — no data to probe, no release can run).
+  std::shared_ptr<const SegmentedPopulationProbe> probe;
+  /// Null iff epoch == 0.
   std::shared_ptr<const PcorEngine> engine;
+
+  size_t num_rows() const { return static_cast<size_t>(epoch); }
+  /// \brief Materializes sealed row `row` (tests, oracles, tooling — not
+  /// a hot path; probes go through `probe`).
+  Row RowAt(uint32_t row) const;
 };
 
 /// \brief Lifetime counters of one streaming engine.
@@ -52,6 +97,9 @@ struct StreamingStats {
   size_t buffered_rows = 0;    ///< appended but not yet sealed
   uint64_t appends = 0;        ///< rows ever appended
   uint64_t seals = 0;          ///< SealEpoch calls that advanced the epoch
+  size_t segments = 0;         ///< segment fan-out of the current snapshot
+  uint64_t compactions = 0;    ///< segment merges performed at seals
+  size_t retained_epochs = 0;  ///< epochs currently inside the retain window
   uint64_t releases = 0;       ///< continual releases charged so far
   double cumulative_epsilon = 0.0;  ///< tree-composed total
   double naive_epsilon = 0.0;       ///< T-fresh-budgets baseline
@@ -78,7 +126,8 @@ struct ContinualRelease {
 ///   - **Snapshot consistency.** A release (or batch) pinned to epoch k is
 ///     bit-identical to the same release against a fresh load-once engine
 ///     over exactly the k sealed rows — for any storage, shard count and
-///     thread count, and regardless of appends/seals racing the release.
+///     thread count, any seal cadence, any compaction policy, and
+///     regardless of appends/seals racing the release.
 ///   - **Determinism.** Epochs are content-addressed (epoch id = sealed
 ///     row count) and seeds travel with requests, so identical
 ///     append/seal/query interleavings at epoch granularity produce
@@ -95,15 +144,22 @@ struct ContinualRelease {
 ///     PcorServer streaming mode), which is the authoritative ledger in
 ///     multi-tenant deployments.
 ///
-/// Costs, stated plainly: SealEpoch copies the sealed prefix and rebuilds
-/// the epoch's index — O(total sealed rows) per seal, amortized fine for
-/// batched seals (seal every S appends), wasteful for seal-per-append.
-/// Incremental segment-sharing index builds are the designated follow-up
-/// (see ROADMAP). Appends are O(1) buffered.
+/// Costs, stated plainly: SealEpoch indexes only the tail rows into a new
+/// immutable segment — O(tail), plus amortized O(log total) per row of
+/// on-seal compaction (CompactionOptions) that keeps probe fan-out
+/// bounded. Earlier segments are shared with the previous snapshot, never
+/// copied. The pre-segment copy-on-seal behavior (O(history) per seal)
+/// remains available as an ablation via PCOR_SEGMENTED_SEAL=0 /
+/// StreamingOptions::segmented_seal = false; the streaming_seal bench
+/// enforces the segmented path's advantage. Appends are O(1) buffered.
 ///
-/// Thread-safe: appends, seals, pins and releases may race freely from any
-/// thread. Seals serialize with appends on one mutex; releases only take
-/// it long enough to pin the snapshot.
+/// Thread-safe: appends, seals, pins and releases may race freely from
+/// any thread. The segment build runs *outside* the append lock — a seal
+/// of any size never blocks concurrent appends beyond two pointer swaps
+/// (seals serialize only with each other). While a seal is indexing its
+/// tail rows, those rows are transiently neither buffered (they left the
+/// tail) nor sealed (the epoch has not advanced) — stats() taken mid-seal
+/// reflects that window honestly.
 class StreamingPcorEngine {
  public:
   /// \brief The detector must outlive the engine.
@@ -117,19 +173,22 @@ class StreamingPcorEngine {
   /// every probe until the next SealEpoch.
   Status Append(const std::vector<uint32_t>& codes, double metric);
   Status Append(const Row& row) { return Append(row.codes, row.metric); }
-  /// \brief Buffers many rows; fails atomically on the first invalid row
-  /// (earlier rows of the span stay buffered — they were valid).
+  /// \brief Buffers many rows atomically: the whole span is validated up
+  /// front, then buffered under one lock acquisition — on error (the
+  /// first invalid row) no row of the span is buffered.
   Status AppendRows(std::span<const Row> rows);
 
   /// \brief Seals every buffered row into a new immutable epoch snapshot
   /// and returns the new epoch id (= total sealed rows). A no-op
   /// returning the current epoch when nothing is buffered. Sweeps memo
-  /// entries older than the retain window (see StreamingOptions).
+  /// entries older than the retain window (see StreamingOptions). The
+  /// index build runs outside the append lock (see class comment).
   uint64_t SealEpoch();
 
   /// \brief Pins the current snapshot: the returned EpochSnapshot (and
   /// everything it references) stays valid and immutable for as long as
-  /// the shared_ptr is held, no matter how many appends/seals follow.
+  /// the shared_ptr is held, no matter how many appends/seals/compactions
+  /// follow.
   std::shared_ptr<const EpochSnapshot> Pin() const;
 
   /// \brief Releases a private valid context for `v_row` (a sealed row
@@ -161,6 +220,8 @@ class StreamingPcorEngine {
   const TreeAccountant& accountant() const { return accountant_; }
 
  private:
+  /// \brief Schema validation shared by Append and AppendRows.
+  Status ValidateRow(const std::vector<uint32_t>& codes) const;
   /// \brief Annotates a successful release with its tree charge.
   ContinualRelease ChargeAndAnnotate(PcorRelease release);
 
@@ -170,12 +231,21 @@ class StreamingPcorEngine {
   std::shared_ptr<VerifierMemo> memo_;
   TreeAccountant accountant_;
 
-  mutable std::mutex mu_;  // guards tail_, snapshot_, counters below
+  mutable std::mutex mu_;  // guards tail_, snapshot_, appends_, seals_
   std::vector<Row> tail_;
   std::shared_ptr<const EpochSnapshot> snapshot_;
-  std::deque<uint64_t> sealed_epochs_;  // most-recent retain window
   uint64_t appends_ = 0;
   uint64_t seals_ = 0;
+
+  // Serializes SealEpoch calls and guards sealed_epochs_. Held across the
+  // whole (lock-free for appenders) segment build; never taken by the
+  // append/pin/stats paths, so a long seal cannot block them.
+  std::mutex seal_mu_;
+  std::deque<uint64_t> sealed_epochs_;  // most-recent retain window
+  // Mirrors for stats(): readable without touching seal_mu_ (a stats call
+  // must never block behind an in-flight index build).
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<size_t> retained_epochs_{0};
 };
 
 }  // namespace pcor

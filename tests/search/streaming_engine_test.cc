@@ -1,13 +1,16 @@
 #include "src/search/streaming.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/data/salary_generator.h"
 #include "src/search/pcor.h"
 #include "tests/testing_util.h"
 
@@ -119,7 +122,7 @@ TEST_F(StreamingEngineTest, EpochPinnedBatchBitIdenticalToFreshLoad) {
     ASSERT_EQ(stream.current_epoch(), epoch + 50);
     // The pin still sees exactly the sealed-at-k view.
     ASSERT_EQ(pinned->epoch, epoch);
-    ASSERT_EQ(pinned->dataset->num_rows(), epoch);
+    ASSERT_EQ(pinned->num_rows(), epoch);
 
     ShardedIndexOptions index_options;
     index_options.storage = storage;
@@ -355,6 +358,252 @@ TEST_F(StreamingEngineTest, TreeAccountingBeatsNaiveAndIsDeterministic) {
     EXPECT_DOUBLE_EQ(a.entries[i].release.stream_epsilon_charged,
                      b.entries[i].release.stream_epsilon_charged);
   }
+}
+
+// Appends `rows` one at a time, sealing after every row whose (1-based)
+// position is in `seal_after`; always seals once more at the end. Returns
+// the number of SealEpoch calls that advanced the epoch.
+uint64_t StreamWithCadence(StreamingPcorEngine* stream,
+                           const std::vector<Row>& rows,
+                           const std::vector<size_t>& seal_after) {
+  uint64_t seals = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    stream->Append(rows[r]).CheckOK();
+    if (std::find(seal_after.begin(), seal_after.end(), r + 1) !=
+        seal_after.end()) {
+      stream->SealEpoch();
+      ++seals;
+    }
+  }
+  if (stream->buffered_rows() > 0) {
+    stream->SealEpoch();
+    ++seals;
+  }
+  return seals;
+}
+
+TEST_F(StreamingEngineTest, SegmentedSealsBitIdenticalAcrossCadences) {
+  // The never-relaxed equivalence gate: for every seal cadence — one row
+  // per epoch, bursty, one big seal — the segmented engine must release
+  // exactly like a fresh load-once engine over the same rows, dense and
+  // compressed, with and without compaction. The cadence only changes the
+  // segment layout; answers may not move by a bit.
+  const std::vector<Row> rows = GridRows(grid_.dataset);
+  std::vector<size_t> every_row, bursty;
+  for (size_t r = 1; r <= rows.size(); ++r) every_row.push_back(r);
+  bursty = {1, 2, 3, 11, 29};
+  const std::vector<std::pair<const char*, std::vector<size_t>>> cadences = {
+      {"seal_per_row", every_row}, {"bursty", bursty}, {"one_seal", {}}};
+
+  for (const IndexStorage storage :
+       {IndexStorage::kDense, IndexStorage::kCompressed}) {
+    SCOPED_TRACE(storage == IndexStorage::kDense ? "dense" : "compressed");
+    ShardedIndexOptions index_options;
+    index_options.storage = storage;
+    PcorEngine fresh(grid_.dataset, detector_, /*verifier_options=*/{},
+                     index_options);
+    std::vector<uint32_t> targets(12, grid_.v_row);
+    const BatchReleaseReport want = fresh.ReleaseBatch(
+        std::span<const uint32_t>(targets), BfsOptions(), /*seed=*/41, 1);
+    ASSERT_EQ(want.failures, 0u);
+
+    for (const auto& [cadence_name, seal_after] : cadences) {
+      for (const bool compact : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << cadence_name << (compact ? " compacted" : " raw"));
+        StreamingOptions options;
+        options.index.storage = storage;
+        options.segmented_seal = true;  // assertion target; ignore env pin
+        if (compact) {
+          options.compaction = {/*min_segment_rows=*/8, /*max_segments=*/4};
+        } else {
+          options.compaction = {0, 0};  // disabled: one segment per seal
+        }
+        StreamingPcorEngine stream(testing_util::GridSchema(), detector_,
+                                   options);
+        const uint64_t seals = StreamWithCadence(&stream, rows, seal_after);
+        ASSERT_EQ(stream.current_epoch(), rows.size());
+        const StreamingStats stats = stream.stats();
+        EXPECT_EQ(stats.seals, seals);
+        if (!compact) {
+          // No compaction: the segment layout IS the seal cadence.
+          EXPECT_EQ(stats.segments, seals);
+          EXPECT_EQ(stats.compactions, 0u);
+        }
+        const BatchReleaseReport got = stream.Pin()->engine->ReleaseBatch(
+            std::span<const uint32_t>(targets), BfsOptions(), /*seed=*/41,
+            4);
+        ASSERT_EQ(got.failures, 0u);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          SCOPED_TRACE(i);
+          ExpectSameRelease(got.entries[i].release, want.entries[i].release);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(StreamingEngineTest, CompactionBoundsFanOutWithoutChangingAnswers) {
+  // Seal-per-row with an aggressive policy: the fan-out bound must hold at
+  // every epoch (not just the last), compactions must actually happen, and
+  // RowAt must keep materializing the original rows through any layout.
+  const std::vector<Row> rows = GridRows(grid_.dataset);
+  StreamingOptions options;
+  options.segmented_seal = true;
+  options.compaction = {/*min_segment_rows=*/4, /*max_segments=*/3};
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_, options);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    stream.Append(rows[r]).CheckOK();
+    stream.SealEpoch();
+    EXPECT_LE(stream.stats().segments, 3u) << "after seal " << r + 1;
+  }
+  const StreamingStats stats = stream.stats();
+  EXPECT_EQ(stats.epoch, rows.size());
+  EXPECT_GT(stats.compactions, 0u);
+
+  const std::shared_ptr<const EpochSnapshot> tip = stream.Pin();
+  for (uint32_t r = 0; r < rows.size(); ++r) {
+    const Row got = tip->RowAt(r);
+    EXPECT_EQ(got.codes, rows[r].codes) << "row " << r;
+    EXPECT_EQ(got.metric, rows[r].metric) << "row " << r;
+  }
+}
+
+TEST_F(StreamingEngineTest, PinnedSnapshotSurvivesLaterCompactions) {
+  // Pin an epoch, then keep sealing per-row under a policy that merges
+  // constantly: structural sharing means the pin's segment list — and its
+  // releases — must be exactly what they were at pin time.
+  const std::vector<Row> rows = GridRows(grid_.dataset);
+  StreamingOptions options;
+  options.segmented_seal = true;
+  options.compaction = {/*min_segment_rows=*/4, /*max_segments=*/2};
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_, options);
+  for (const Row& row : rows) {
+    stream.Append(row).CheckOK();
+    stream.SealEpoch();
+  }
+  const std::shared_ptr<const EpochSnapshot> pinned = stream.Pin();
+  ASSERT_EQ(pinned->epoch, rows.size());
+  const size_t pinned_segments = pinned->segments.size();
+  const uint64_t compactions_at_pin = stream.stats().compactions;
+
+  // Every post-pin seal merges (max_segments = 2), rewriting the tip's
+  // layout over and over — never the pin's.
+  for (int i = 0; i < 24; ++i) {
+    stream.Append({1, 1}, 100.0 + i).CheckOK();
+    stream.SealEpoch();
+  }
+  ASSERT_GT(stream.stats().compactions, compactions_at_pin)
+      << "fixture regression: the tail seals never compacted";
+  // The pin's own layout is untouched by every later merge.
+  EXPECT_EQ(pinned->segments.size(), pinned_segments);
+  for (uint32_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(pinned->RowAt(r).codes, rows[r].codes) << "row " << r;
+  }
+
+  PcorEngine fresh(grid_.dataset, detector_);
+  std::vector<uint32_t> targets(8, grid_.v_row);
+  const BatchReleaseReport want = fresh.ReleaseBatch(
+      std::span<const uint32_t>(targets), BfsOptions(), /*seed=*/43, 1);
+  const BatchReleaseReport got = pinned->engine->ReleaseBatch(
+      std::span<const uint32_t>(targets), BfsOptions(), /*seed=*/43, 2);
+  ASSERT_EQ(want.failures, 0u);
+  ASSERT_EQ(got.failures, 0u);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameRelease(got.entries[i].release, want.entries[i].release);
+  }
+}
+
+TEST_F(StreamingEngineTest, AppendRowsIsAllOrNothing) {
+  // An invalid row mid-span must leave the tail untouched — no prefix of
+  // the span may stay buffered (the bug this PR fixes: per-row locking
+  // buffered everything before the bad row).
+  StreamingPcorEngine stream(testing_util::GridSchema(), detector_);
+  ASSERT_TRUE(stream.Append({0, 0}, 100.0).ok());
+  ASSERT_EQ(stream.buffered_rows(), 1u);
+
+  std::vector<Row> span = {Row{{0, 1}, 101.0}, Row{{1, 0}, 102.0},
+                           Row{{0, 9}, 103.0},  // out of domain
+                           Row{{1, 1}, 104.0}};
+  EXPECT_TRUE(stream.AppendRows(span).IsOutOfRange());
+  EXPECT_EQ(stream.buffered_rows(), 1u) << "span prefix leaked into tail";
+  EXPECT_EQ(stream.stats().appends, 1u);
+
+  // Wrong-arity rows fail the same way.
+  span[2] = Row{{0}, 103.0};
+  EXPECT_TRUE(stream.AppendRows(span).IsInvalidArgument());
+  EXPECT_EQ(stream.buffered_rows(), 1u);
+
+  // And the fixed span lands whole.
+  span[2] = Row{{0, 2}, 103.0};
+  ASSERT_TRUE(stream.AppendRows(span).ok());
+  EXPECT_EQ(stream.buffered_rows(), 5u);
+  EXPECT_EQ(stream.SealEpoch(), 5u);
+}
+
+TEST_F(StreamingEngineTest, RetainWindowTrackingStaysBoundedAtZero) {
+  // retain_epochs == 0 must not track sealed epochs at all (the unbounded
+  // deque regression), while a positive window reports its actual size.
+  StreamingOptions keep_none;
+  keep_none.retain_epochs = 0;
+  StreamingPcorEngine packrat(testing_util::GridSchema(), detector_,
+                              keep_none);
+  StreamingOptions keep_two;
+  keep_two.retain_epochs = 2;
+  StreamingPcorEngine windowed(testing_util::GridSchema(), detector_,
+                               keep_two);
+  for (int seal = 0; seal < 20; ++seal) {
+    for (StreamingPcorEngine* s : {&packrat, &windowed}) {
+      ASSERT_TRUE(s->Append({uint32_t(seal) % 3, 1}, 100.0 + seal).ok());
+      s->SealEpoch();
+    }
+    EXPECT_EQ(packrat.stats().retained_epochs, 0u) << "seal " << seal;
+    EXPECT_LE(windowed.stats().retained_epochs, 2u) << "seal " << seal;
+  }
+  EXPECT_EQ(windowed.stats().retained_epochs, 2u);
+}
+
+TEST_F(StreamingEngineTest, AppendsProgressWhileLargeSealInFlight) {
+  // The seal-outside-lock fix: a seal over a large sealed history (worst
+  // case: the copy-on-seal ablation rebuilding everything) must not block
+  // concurrent appends. Count appends completed strictly while the seal is
+  // still running — under the old whole-seal lock this count was 0.
+  SalaryDatasetSpec spec;
+  spec.num_rows = 60'000;
+  spec.num_jobs = 16;
+  spec.num_employers = 12;
+  spec.num_years = 8;
+  spec.seed = 777;
+  auto generated = GenerateSalaryDataset(spec);
+  ASSERT_TRUE(generated.ok());
+  const std::vector<Row> rows = GridRows(generated->dataset);
+
+  StreamingOptions options;
+  options.segmented_seal = false;  // O(history) seal: the slowest case
+  options.index.storage = IndexStorage::kCompressed;
+  StreamingPcorEngine stream(generated->dataset.schema(), detector_,
+                             options);
+  ASSERT_TRUE(stream.AppendRows(rows).ok());
+  ASSERT_EQ(stream.SealEpoch(), rows.size());
+  // Buffer a second large tail; sealing it re-merges all 120k rows.
+  ASSERT_TRUE(stream.AppendRows(rows).ok());
+
+  std::thread sealer([&] { stream.SealEpoch(); });
+  uint64_t appends_during_seal = 0;
+  while (stream.current_epoch() == rows.size()) {
+    stream.Append(rows[appends_during_seal % rows.size()]).CheckOK();
+    ++appends_during_seal;
+  }
+  sealer.join();
+  // The loop's last append may have landed after the swap; everything
+  // before it ran concurrently with the index build.
+  EXPECT_GT(appends_during_seal, 1u)
+      << "appends stalled behind an in-flight seal";
+  // Nothing was lost: appends that raced ahead of the sealer's tail-swap
+  // were sealed with it, the rest are buffered — sealing them makes every
+  // appended row sealed exactly once.
+  EXPECT_EQ(stream.SealEpoch(), 2 * rows.size() + appends_during_seal);
 }
 
 }  // namespace

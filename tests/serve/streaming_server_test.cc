@@ -508,12 +508,7 @@ TEST_F(StreamingServerTest, BatchesNeverStraddleEpochsUnderChurn) {
     if (oracles.find(epoch) == oracles.end()) {
       auto prefix = std::make_unique<Dataset>(testing_util::GridSchema());
       for (size_t r = 0; r < epoch; ++r) {
-        Row row;
-        for (size_t a = 0; a < tip->dataset->num_attributes(); ++a) {
-          row.codes.push_back(tip->dataset->code(r, a));
-        }
-        row.metric = tip->dataset->metric(r);
-        prefix->AppendRow(row).CheckOK();
+        prefix->AppendRow(tip->RowAt(static_cast<uint32_t>(r))).CheckOK();
       }
       oracles[epoch] =
           std::make_unique<PcorEngine>(*prefix, detector_);
