@@ -1,0 +1,73 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace pcor {
+
+RealClock* RealClock::Get() {
+  static RealClock* instance = new RealClock();
+  return instance;
+}
+
+int64_t RealClock::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void RealClock::SleepUntil(int64_t deadline_us) {
+  const auto deadline = origin_ + std::chrono::microseconds(deadline_us);
+  // sleep_until on an already-past deadline returns immediately, which is
+  // exactly the late-runner contract.
+  std::this_thread::sleep_until(deadline);
+}
+
+int64_t VirtualClock::NowMicros() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return now_us_;
+}
+
+void VirtualClock::SleepUntil(int64_t deadline_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (now_us_ >= deadline_us) return;  // late: fire immediately
+  ++sleeps_;
+  if (auto_advance_) {
+    now_us_ = deadline_us;
+    lock.unlock();
+    advanced_.notify_all();
+    return;
+  }
+  ++waiters_;
+  advanced_.wait(lock, [&] { return now_us_ >= deadline_us; });
+  --waiters_;
+}
+
+void VirtualClock::AdvanceTo(int64_t now_us) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (now_us <= now_us_) return;  // monotone: never rewind
+    now_us_ = now_us;
+  }
+  advanced_.notify_all();
+}
+
+void VirtualClock::AdvanceBy(int64_t delta_us) {
+  if (delta_us <= 0) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    now_us_ += delta_us;
+  }
+  advanced_.notify_all();
+}
+
+size_t VirtualClock::sleeps() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sleeps_;
+}
+
+size_t VirtualClock::waiters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return waiters_;
+}
+
+}  // namespace pcor

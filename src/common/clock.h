@@ -1,0 +1,93 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace pcor {
+
+/// \brief Monotonic microsecond clock the open-loop trace driver schedules
+/// against. Two implementations: RealClock (steady_clock; benches and
+/// production replays) and VirtualClock (tests advance time explicitly, so
+/// dispatch schedules are asserted exactly and suites run with zero
+/// wall-clock sleeps).
+///
+/// The contract every implementation honors:
+///   - NowMicros() is monotone non-decreasing across calls from any thread;
+///   - SleepUntil(d) returns with NowMicros() >= d, immediately when the
+///     clock is already at or past d (a late caller is never re-scheduled
+///     or penalized further — it observes its lag and moves on).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Microseconds since this clock's origin.
+  virtual int64_t NowMicros() = 0;
+
+  /// \brief Blocks until NowMicros() >= deadline_us (see class contract).
+  virtual void SleepUntil(int64_t deadline_us) = 0;
+};
+
+/// \brief Wall clock over std::chrono::steady_clock. The origin is the
+/// instance's construction, so trace timestamps (which start near 0) map
+/// directly onto a replay's own timeline.
+class RealClock final : public Clock {
+ public:
+  RealClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// \brief Process-wide shared instance (origin = first use). Replays
+  /// that want t=0 at replay start construct their own instead.
+  static RealClock* Get();
+
+  int64_t NowMicros() override;
+  void SleepUntil(int64_t deadline_us) override;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+};
+
+/// \brief Deterministic test clock: time moves only when told to.
+///
+/// Two modes:
+///   - auto-advance (default): SleepUntil jumps the clock straight to the
+///     deadline and returns. A whole trace replays deterministically on
+///     the calling thread with zero blocking and zero wall time, and a
+///     dispatch hook that calls AdvanceBy simulates slow event handling
+///     (making the driver observably late for later events).
+///   - manual (auto_advance = false): SleepUntil blocks on a condition
+///     variable until another thread's AdvanceTo/AdvanceBy moves the
+///     clock past the deadline — for tests that drive a dispatch loop
+///     running on its own thread, step by step.
+///
+/// Thread-safe; time is monotone (AdvanceTo clamps, never rewinds).
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_us = 0, bool auto_advance = true)
+      : now_us_(start_us), auto_advance_(auto_advance) {}
+
+  int64_t NowMicros() override;
+  void SleepUntil(int64_t deadline_us) override;
+
+  /// \brief Moves the clock forward to `now_us` (no-op when already
+  /// past — the clock never rewinds) and wakes manual-mode sleepers whose
+  /// deadlines are now reached.
+  void AdvanceTo(int64_t now_us);
+  void AdvanceBy(int64_t delta_us);
+
+  /// \brief SleepUntil calls that found their deadline in the future (an
+  /// on-time dispatch loop sleeps once per event; a late one never does).
+  size_t sleeps() const;
+  /// \brief Threads currently blocked inside a manual-mode SleepUntil.
+  size_t waiters() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable advanced_;
+  int64_t now_us_;
+  const bool auto_advance_;
+  size_t sleeps_ = 0;
+  size_t waiters_ = 0;
+};
+
+}  // namespace pcor

@@ -130,6 +130,123 @@ std::string HistogramBuilder::ToAscii(size_t max_width) const {
   return out.str();
 }
 
+namespace {
+
+/// bit_width for positive values: index of the highest set bit plus one.
+inline size_t BitWidth(uint64_t v) {
+  size_t w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : LatencyHistogram(Options()) {}
+
+LatencyHistogram::LatencyHistogram(Options options)
+    : options_(options) {
+  PCOR_CHECK(options_.max_value_us > 0)
+      << "LatencyHistogram range must be non-empty";
+  PCOR_CHECK(options_.precision_bits >= 2 && options_.precision_bits <= 14)
+      << "LatencyHistogram precision_bits must be in [2, 14]";
+  counts_.assign(BucketIndex(options_.max_value_us) + 1, 0);
+}
+
+size_t LatencyHistogram::BucketIndex(int64_t value_us) const {
+  if (value_us < 0) value_us = 0;
+  if (value_us > options_.max_value_us) value_us = options_.max_value_us;
+  const uint64_t v = static_cast<uint64_t>(value_us);
+  const size_t bits = options_.precision_bits;
+  const uint64_t sub_count = uint64_t{1} << bits;  // S
+  if (v < sub_count) return static_cast<size_t>(v);
+  // v lives in octave [2^m, 2^(m+1)) with m >= bits; the octave splits
+  // into S/2 sub-buckets of width 2^(m-bits+1).
+  const size_t m = BitWidth(v) - 1;
+  const size_t octave = m - bits + 1;  // 1-based past the unit region
+  const uint64_t half = sub_count / 2;
+  const uint64_t sub = (v >> (m - bits + 1)) - half;
+  return static_cast<size_t>(sub_count + (octave - 1) * half + sub);
+}
+
+int64_t LatencyHistogram::BucketUpperEdge(size_t index) const {
+  const size_t bits = options_.precision_bits;
+  const uint64_t sub_count = uint64_t{1} << bits;
+  if (index < sub_count) return static_cast<int64_t>(index);  // exact
+  const uint64_t half = sub_count / 2;
+  const size_t octave = (index - sub_count) / half + 1;
+  const uint64_t sub = (index - sub_count) % half;
+  const size_t width_shift = octave;  // 2^(m-bits+1) with m = bits+octave-1
+  const uint64_t lower = (half + sub) << width_shift;
+  return static_cast<int64_t>(lower + (uint64_t{1} << width_shift) - 1);
+}
+
+void LatencyHistogram::Record(int64_t value_us) {
+  if (value_us < 0) value_us = 0;
+  if (value_us > options_.max_value_us) {
+    value_us = options_.max_value_us;
+    ++saturated_;
+  }
+  ++counts_[BucketIndex(value_us)];
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  ++count_;
+  sum_ += value_us;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  PCOR_CHECK(options_.max_value_us == other.options_.max_value_us &&
+             options_.precision_bits == other.options_.precision_bits)
+      << "merging LatencyHistograms with different bucket layouts";
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  saturated_ += other.saturated_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean_us() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t LatencyHistogram::PercentileUs(double q) const {
+  PCOR_CHECK(q >= 0.0 && q <= 1.0) << "Percentile q must be in [0,1]";
+  if (count_ == 0) return 0;
+  const double exact_rank = q * static_cast<double>(count_);
+  size_t rank = static_cast<size_t>(std::ceil(exact_rank));
+  rank = std::max<size_t>(1, std::min(rank, count_));
+  size_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // The upper edge can overshoot the largest recorded value; clamping
+      // to the exact max keeps q = 1 exact and never drops below the
+      // order statistic (max >= os_k for every k).
+      return std::min(BucketUpperEdge(i), max_);
+    }
+  }
+  return max_;  // unreachable: cumulative == count_ by the loop's end
+}
+
+double LatencyHistogram::RelativeErrorBound() const {
+  return std::ldexp(1.0, 1 - static_cast<int>(options_.precision_bits));
+}
+
 RuntimeSummary SummarizeRuntimes(const std::vector<double>& seconds) {
   RuntimeSummary s;
   if (seconds.empty()) return s;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -74,6 +75,81 @@ class HistogramBuilder {
   double hi_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+};
+
+/// \brief Fixed-footprint log-linear latency histogram (HdrHistogram-style
+/// bucket layout) — the bounded-memory replacement for unbounded
+/// `latencies_s` vectors on million-event traces.
+///
+/// Values are non-negative integer microseconds. With precision bits b and
+/// S = 2^b, values below S get exact unit-width buckets; every octave
+/// [2^m, 2^(m+1)) beyond splits into S/2 equal sub-buckets of width
+/// 2^(m-b+1). PercentileUs(q) returns the upper edge of the bucket holding
+/// the ceil(q * count)-th smallest recorded value, so for the k-th order
+/// statistic os_k:
+///
+///     os_k <= PercentileUs(q) <= os_k * (1 + 2^(1-b)) + 1
+///
+/// (the relative error bound, see RelativeErrorBound(); the +1 absorbs the
+/// integer bucket edge). min/max/mean are exact. Values above
+/// `max_value_us` clamp into the top bucket and are counted in
+/// `saturated()` — never dropped silently.
+///
+/// Not internally synchronized: record into one histogram per thread and
+/// Merge() at the end. Merge is an element-wise sum, so it is associative
+/// and commutative — any merge tree over the same per-thread histograms
+/// yields bit-identical counts and percentiles.
+class LatencyHistogram {
+ public:
+  struct Options {
+    /// Top of the tracked range; larger values saturate into the last
+    /// bucket. 60 s covers any sane serving latency.
+    int64_t max_value_us = 60'000'000;
+    /// Precision: relative error bound 2^(1-bits). 6 bits = 64 exact unit
+    /// buckets + 32 sub-buckets per octave = <= 3.2% error at ~750
+    /// buckets for the 60 s range.
+    size_t precision_bits = 6;
+  };
+
+  LatencyHistogram();  ///< default Options
+  explicit LatencyHistogram(Options options);
+
+  /// \brief Records one value (negative clamps to 0, above-range clamps
+  /// to max_value_us and counts as saturated).
+  void Record(int64_t value_us);
+
+  /// \brief Element-wise sum. Layouts (max_value_us, precision_bits) must
+  /// match — merging differently-shaped histograms is a programming bug.
+  void Merge(const LatencyHistogram& other);
+
+  size_t count() const { return count_; }
+  size_t saturated() const { return saturated_; }
+  int64_t min_us() const { return count_ ? min_ : 0; }  ///< exact
+  int64_t max_us() const { return count_ ? max_ : 0; }  ///< exact
+  double mean_us() const;                               ///< exact (clamped)
+
+  /// \brief Upper bucket edge of the ceil(q * count)-th order statistic
+  /// (q = 0 reads the smallest sample's bucket; q = 1 returns the exact
+  /// max). 0 when empty. q must be in [0, 1].
+  int64_t PercentileUs(double q) const;
+
+  /// \brief Guaranteed bound on PercentileUs overshoot: 2^(1-bits).
+  double RelativeErrorBound() const;
+
+  const Options& options() const { return options_; }
+  size_t bucket_count() const { return counts_.size(); }
+
+ private:
+  size_t BucketIndex(int64_t value_us) const;
+  int64_t BucketUpperEdge(size_t index) const;
+
+  Options options_;
+  std::vector<size_t> counts_;
+  size_t count_ = 0;
+  size_t saturated_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  int64_t sum_ = 0;
 };
 
 /// \brief Summary statistics of a runtime series in the paper's format

@@ -1,0 +1,293 @@
+#include "src/exp/trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+#include "src/data/csv.h"
+
+namespace pcor {
+
+namespace {
+
+constexpr char kTraceHeader[] = "at_us,tenant,kind,eps,rows";
+
+bool ParseStrictInt64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseStrictUint64(const std::string& field, uint64_t* out) {
+  if (field.empty() || field[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseStrictDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument(
+      strings::Format("trace line %zu: %s", line_no, what.c_str()));
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRelease:
+      return "release";
+    case TraceEventKind::kAppend:
+      return "append";
+    case TraceEventKind::kSeal:
+      return "seal";
+  }
+  return "unknown";
+}
+
+std::string FormatTrace(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "# pcor-trace v1\n" << kTraceHeader << "\n";
+  for (const TraceEvent& e : events) {
+    out << strings::Format(
+        "%lld,%s,%s,%.17g,%llu\n", static_cast<long long>(e.at_us),
+        csv::EscapeField(e.tenant, ',').c_str(), TraceEventKindName(e.kind),
+        e.epsilon, static_cast<unsigned long long>(e.rows));
+  }
+  return out.str();
+}
+
+Result<std::vector<TraceEvent>> ParseTrace(const std::string& text,
+                                           const TraceParseOptions& options) {
+  std::vector<TraceEvent> events;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = strings::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (!saw_header) {
+      if (trimmed != kTraceHeader) {
+        return LineError(line_no,
+                         strings::Format("expected header \"%s\", got \"%s\"",
+                                         kTraceHeader, trimmed.c_str()));
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::vector<std::string> fields = csv::ParseLine(trimmed, ',');
+    if (fields.size() != 5) {
+      return LineError(
+          line_no, strings::Format("expected 5 fields, got %zu",
+                                   fields.size()));
+    }
+    TraceEvent e;
+    if (!ParseStrictInt64(fields[0], &e.at_us)) {
+      return LineError(line_no, strings::Format("malformed at_us \"%s\"",
+                                                fields[0].c_str()));
+    }
+    if (e.at_us < 0) {
+      return LineError(line_no,
+                       strings::Format("negative at_us %lld",
+                                       static_cast<long long>(e.at_us)));
+    }
+    e.tenant = fields[1];
+    if (e.tenant.empty()) return LineError(line_no, "empty tenant id");
+    if (!options.allowed_tenants.empty()) {
+      bool known = false;
+      for (const std::string& t : options.allowed_tenants) {
+        if (t == e.tenant) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::NotFound(
+            strings::Format("trace line %zu: unknown tenant \"%s\"", line_no,
+                            e.tenant.c_str()));
+      }
+    }
+    const std::string kind = strings::ToLower(fields[2]);
+    if (kind == "release") {
+      e.kind = TraceEventKind::kRelease;
+    } else if (kind == "append") {
+      e.kind = TraceEventKind::kAppend;
+    } else if (kind == "seal") {
+      e.kind = TraceEventKind::kSeal;
+    } else {
+      return LineError(line_no, strings::Format("unknown event kind \"%s\"",
+                                                fields[2].c_str()));
+    }
+    if (!ParseStrictDouble(fields[3], &e.epsilon) ||
+        !std::isfinite(e.epsilon) || e.epsilon < 0.0) {
+      return LineError(line_no, strings::Format("malformed eps \"%s\"",
+                                                fields[3].c_str()));
+    }
+    if (!ParseStrictUint64(fields[4], &e.rows)) {
+      return LineError(line_no, strings::Format("malformed rows \"%s\"",
+                                                fields[4].c_str()));
+    }
+    events.push_back(std::move(e));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(
+        strings::Format("trace has no \"%s\" header", kTraceHeader));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> MakeDiurnalTrace(const DiurnalTraceOptions& options) {
+  std::vector<TraceEvent> events;
+  if (options.tenants.empty() || options.duration_us <= 0) return events;
+  Rng rng(options.seed);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  double t = 0.0;
+  uint64_t index = 0;
+  while (true) {
+    // Inhomogeneous Poisson by thinning against the peak rate: candidate
+    // gaps at the peak rate, each kept with probability rate(t)/peak.
+    const double peak_per_us = options.peak_releases_per_sec / 1e6;
+    if (peak_per_us <= 0.0) break;
+    t += rng.NextExponential(peak_per_us);
+    if (t >= static_cast<double>(options.duration_us)) break;
+    const double phase =
+        two_pi * t / static_cast<double>(options.period_us);
+    const double rate_per_sec =
+        options.trough_releases_per_sec +
+        (options.peak_releases_per_sec - options.trough_releases_per_sec) *
+            0.5 * (1.0 - std::cos(phase));
+    if (rng.NextDouble() * options.peak_releases_per_sec > rate_per_sec) {
+      continue;  // thinned
+    }
+    TraceEvent e;
+    e.at_us = static_cast<int64_t>(t);
+    e.tenant = options.tenants[rng.NextBounded(options.tenants.size())];
+    e.kind = TraceEventKind::kRelease;
+    e.rows = index++;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> MakeFloodTrace(const FloodTraceOptions& options) {
+  std::vector<TraceEvent> events;
+  uint64_t index = 0;
+  for (size_t i = 0; i < options.baseline_tenants.size(); ++i) {
+    // Small per-tenant phase offset so baseline tenants interleave
+    // instead of firing in lockstep.
+    const int64_t phase = static_cast<int64_t>(i) *
+                          options.baseline_interval_us /
+                          static_cast<int64_t>(
+                              options.baseline_tenants.size());
+    for (int64_t at = phase; at < options.duration_us;
+         at += options.baseline_interval_us) {
+      TraceEvent e;
+      e.at_us = at;
+      e.tenant = options.baseline_tenants[i];
+      e.kind = TraceEventKind::kRelease;
+      e.rows = index++;
+      events.push_back(std::move(e));
+    }
+  }
+  for (size_t i = 0; i < options.flood_events; ++i) {
+    TraceEvent e;
+    e.at_us = options.flood_at_us +
+              static_cast<int64_t>(i) * options.flood_spacing_us;
+    e.tenant = options.flood_tenant;
+    e.kind = TraceEventKind::kRelease;
+    e.rows = index++;
+    events.push_back(std::move(e));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at_us < b.at_us;
+                   });
+  return events;
+}
+
+std::vector<TraceEvent> MakeBudgetStormTrace(
+    const BudgetStormTraceOptions& options) {
+  std::vector<TraceEvent> events;
+  const size_t total = options.tenant_count * options.events_per_tenant;
+  events.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    TraceEvent e;
+    e.at_us = static_cast<int64_t>(i) * options.interval_us;
+    e.tenant = strings::Format("storm-%zu", i % options.tenant_count);
+    e.kind = TraceEventKind::kRelease;
+    e.epsilon = options.epsilon_per_release;
+    e.rows = i;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> MakeStreamingTrace(
+    const StreamingTraceOptions& options) {
+  std::vector<TraceEvent> events;
+  if (options.tenants.empty()) return events;
+  // Each epoch interval splits into evenly spaced slots: the append burst,
+  // one seal, then the release volley against the freshly sealed epoch.
+  const int64_t slots = static_cast<int64_t>(options.appends_per_epoch +
+                                             1 + options.releases_per_epoch);
+  const int64_t spacing = std::max<int64_t>(1, options.epoch_interval_us /
+                                                   std::max<int64_t>(slots,
+                                                                     1));
+  uint64_t release_index = 0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const int64_t base =
+        static_cast<int64_t>(epoch) * options.epoch_interval_us;
+    int64_t slot = 0;
+    for (size_t a = 0; a < options.appends_per_epoch; ++a, ++slot) {
+      TraceEvent e;
+      e.at_us = base + slot * spacing;
+      e.tenant = options.tenants[a % options.tenants.size()];
+      e.kind = TraceEventKind::kAppend;
+      e.rows = options.rows_per_append;
+      events.push_back(std::move(e));
+    }
+    {
+      TraceEvent e;
+      e.at_us = base + slot * spacing;
+      ++slot;
+      e.tenant = options.tenants[0];
+      e.kind = TraceEventKind::kSeal;
+      events.push_back(std::move(e));
+    }
+    for (size_t r = 0; r < options.releases_per_epoch; ++r, ++slot) {
+      TraceEvent e;
+      e.at_us = base + slot * spacing;
+      e.tenant = options.tenants[release_index % options.tenants.size()];
+      e.kind = TraceEventKind::kRelease;
+      // Pool index: cycles, so replays need only supply a pool whose row
+      // ids are all sealed by the FIRST epoch (see trace.h).
+      e.rows = release_index++;
+      events.push_back(std::move(e));
+    }
+  }
+  return events;
+}
+
+}  // namespace pcor

@@ -246,6 +246,12 @@ Result<Future<BatchEntry>> PcorServer::SubmitAsync(
     }
     return Status::Unavailable("server is shutting down");
   }
+  const size_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  size_t high_water = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > high_water &&
+         !queue_high_water_.compare_exchange_weak(
+             high_water, depth, std::memory_order_relaxed)) {
+  }
   {
     std::unique_lock<std::mutex> stats_lock(stats_mu_);
     ++stats_.submitted;
@@ -325,6 +331,7 @@ void PcorServer::DispatcherLoop() {
   while (true) {
     Pending first;
     if (queue_.Pop(&first) == QueueOp::kClosed) return;
+    queued_.fetch_sub(1, std::memory_order_relaxed);
 
     std::vector<Pending> batch;
     batch.push_back(std::move(first));
@@ -334,6 +341,7 @@ void PcorServer::DispatcherLoop() {
       Pending next;
       const QueueOp op = queue_.PopFor(&next, deadline - steady_clock::now());
       if (op != QueueOp::kOk) break;  // timed out, or closed and drained
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       batch.push_back(std::move(next));
     }
 
@@ -459,6 +467,8 @@ ServerStats PcorServer::stats() const {
     std::unique_lock<std::mutex> stats_lock(stats_mu_);
     snapshot = stats_;
   }
+  snapshot.queue_high_water =
+      queue_high_water_.load(std::memory_order_relaxed);
   snapshot.epsilon_spent = accountant_.TotalSpent();
   if (stream_ != nullptr) {
     snapshot.epoch = stream_->current_epoch();

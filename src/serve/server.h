@@ -133,6 +133,10 @@ struct ServerStats {
   size_t rejected_invalid = 0; ///< submissions refused: bad request options
   size_t batches = 0;          ///< micro-batches executed
   size_t max_coalesced = 0;    ///< largest micro-batch observed
+  /// Peak admitted-but-undispatched queue depth — with open-loop load the
+  /// headline backlog indicator: a queue riding its high-water mark at
+  /// capacity is where the coordinated-omission gap accumulates.
+  size_t queue_high_water = 0;
   size_t hit_probe_cap = 0;    ///< released entries that hit max_probes
   double epsilon_spent = 0.0;  ///< sum of all client ledgers
   // Streaming mode only (all zero on a classic server):
@@ -363,6 +367,10 @@ class PcorServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+  /// Admitted-but-undispatched depth and its lifetime peak, kept outside
+  /// stats_mu_ so the hot push/pop paths stay lock-free for this.
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> queue_high_water_{0};
 
   std::thread dispatcher_;  // last member: starts in the constructor
 };

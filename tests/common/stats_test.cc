@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
 
 namespace pcor {
 namespace {
@@ -101,6 +105,204 @@ TEST(HistogramBuilderTest, AsciiRenderingHasOneLinePerBin) {
   std::string ascii = h.ToAscii();
   EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 4);
   EXPECT_NE(ascii.find('#'), std::string::npos);
+}
+
+TEST(PercentileOfSortedTest, EdgeCases) {
+  const std::vector<double> sorted{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.0), 10.0);  // q = 0: min
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 1.0), 50.0);  // q = 1: max
+  // Interpolation midpoints: pos = q * (n-1) lands exactly between ranks.
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.125), 15.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.375), 25.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.625), 35.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.875), 45.0);
+  // Single sample: every quantile is that sample.
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(one, 1.0), 7.0);
+}
+
+// ---- LatencyHistogram: the bounded-memory open-loop latency recorder ---
+
+// The documented contract: PercentileUs(q) brackets the ceil(q*n)-th order
+// statistic from above within the relative error bound (+1 for the
+// integer bucket edge).
+void ExpectPercentilesWithinBound(const LatencyHistogram& hist,
+                                  std::vector<int64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  const double bound = hist.RelativeErrorBound();
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99,
+                   0.999, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    const int64_t exact = samples[std::min(rank, samples.size()) - 1];
+    const int64_t approx = hist.PercentileUs(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx),
+              static_cast<double>(exact) * (1.0 + bound) + 1.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(hist.PercentileUs(1.0), samples.back());  // max is exact
+  EXPECT_EQ(hist.min_us(), samples.front());
+  EXPECT_EQ(hist.max_us(), samples.back());
+}
+
+TEST(LatencyHistogramTest, EmptyIsAllZeros) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.PercentileUs(0.5), 0);
+  EXPECT_EQ(hist.min_us(), 0);
+  EXPECT_EQ(hist.max_us(), 0);
+  EXPECT_DOUBLE_EQ(hist.mean_us(), 0.0);
+}
+
+TEST(LatencyHistogramTest, UnitRegionIsExact) {
+  // Values below 2^precision_bits land in unit-width buckets: every
+  // percentile is the exact order statistic, not just within the bound.
+  LatencyHistogram hist;
+  std::vector<int64_t> samples;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(static_cast<int64_t>(rng.NextBounded(64)));
+  }
+  for (int64_t s : samples) hist.Record(s);
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    EXPECT_EQ(hist.PercentileUs(q), samples[rank - 1]) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, RandomSamplesWithinErrorBound) {
+  LatencyHistogram hist;
+  std::vector<int64_t> samples;
+  Rng rng(2021);
+  for (int i = 0; i < 5'000; ++i) {
+    // Span many octaves: uniform in the exponent, the adversarial shape
+    // for log-linear buckets. 2^25 max stays inside the default 60 s
+    // range, so nothing saturates.
+    const int64_t v = static_cast<int64_t>(
+        rng.NextBounded(uint64_t{1} << rng.NextBounded(26)));
+    samples.push_back(v);
+    hist.Record(v);
+  }
+  ExpectPercentilesWithinBound(hist, samples);
+  // Mean and count are exact.
+  double sum = 0;
+  for (int64_t s : samples) sum += static_cast<double>(s);
+  EXPECT_EQ(hist.count(), samples.size());
+  EXPECT_DOUBLE_EQ(hist.mean_us(), sum / static_cast<double>(samples.size()));
+  EXPECT_EQ(hist.saturated(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleBucketPileup) {
+  // Adversarial: every sample in ONE sub-bucket high up the range. The
+  // whole distribution collapses into a single counter; all percentiles
+  // must still bracket the true value within the bound.
+  LatencyHistogram hist;
+  std::vector<int64_t> samples(1'000, 48'000'123);
+  samples.push_back(48'000'124);  // and a tie-breaking neighbor
+  for (int64_t s : samples) hist.Record(s);
+  ExpectPercentilesWithinBound(hist, samples);
+}
+
+TEST(LatencyHistogramTest, HigherPrecisionTightensTheBound) {
+  LatencyHistogram::Options coarse;
+  coarse.precision_bits = 3;
+  LatencyHistogram::Options fine;
+  fine.precision_bits = 10;
+  LatencyHistogram coarse_hist(coarse), fine_hist(fine);
+  EXPECT_DOUBLE_EQ(coarse_hist.RelativeErrorBound(), 0.25);
+  EXPECT_DOUBLE_EQ(fine_hist.RelativeErrorBound(), std::ldexp(1.0, -9));
+  std::vector<int64_t> samples;
+  Rng rng(11);
+  for (int i = 0; i < 2'000; ++i) {
+    const int64_t v =
+        static_cast<int64_t>(1'000'000 + rng.NextBounded(50'000'000));
+    samples.push_back(v);
+    coarse_hist.Record(v);
+    fine_hist.Record(v);
+  }
+  ExpectPercentilesWithinBound(coarse_hist, samples);
+  ExpectPercentilesWithinBound(fine_hist, samples);
+  EXPECT_GT(fine_hist.bucket_count(), coarse_hist.bucket_count());
+}
+
+TEST(LatencyHistogramTest, ClampsNegativeAndSaturatesAboveRange) {
+  LatencyHistogram::Options options;
+  options.max_value_us = 1'000;
+  LatencyHistogram hist(options);
+  hist.Record(-50);       // clamps to 0, not saturated
+  hist.Record(999);
+  hist.Record(5'000'000);  // clamps to max_value_us, saturated
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.saturated(), 1u);
+  EXPECT_EQ(hist.min_us(), 0);
+  EXPECT_EQ(hist.max_us(), 1'000);
+  EXPECT_EQ(hist.PercentileUs(1.0), 1'000);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAcrossAnyTree) {
+  // Cross-thread merging contract: per-thread histograms merged in ANY
+  // tree shape yield bit-identical counts and percentiles. Simulate four
+  // shards and compare left-fold, right-fold and pairwise trees.
+  Rng rng(13);
+  std::vector<std::vector<int64_t>> shards(4);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (int i = 0; i < 700; ++i) {
+      shards[s].push_back(static_cast<int64_t>(
+          rng.NextBounded(uint64_t{1} << rng.NextBounded(26))));
+    }
+  }
+  auto record = [](const std::vector<int64_t>& values) {
+    LatencyHistogram h;
+    for (int64_t v : values) h.Record(v);
+    return h;
+  };
+  LatencyHistogram left = record(shards[0]);
+  left.Merge(record(shards[1]));
+  left.Merge(record(shards[2]));
+  left.Merge(record(shards[3]));
+  LatencyHistogram right = record(shards[3]);
+  right.Merge(record(shards[2]));
+  right.Merge(record(shards[1]));
+  right.Merge(record(shards[0]));
+  LatencyHistogram pair_a = record(shards[0]);
+  pair_a.Merge(record(shards[1]));
+  LatencyHistogram pair_b = record(shards[2]);
+  pair_b.Merge(record(shards[3]));
+  pair_a.Merge(pair_b);
+
+  std::vector<int64_t> all;
+  for (const auto& shard : shards) {
+    all.insert(all.end(), shard.begin(), shard.end());
+  }
+  for (const LatencyHistogram* h : {&left, &right, &pair_a}) {
+    EXPECT_EQ(h->count(), all.size());
+    EXPECT_EQ(h->min_us(), left.min_us());
+    EXPECT_EQ(h->max_us(), left.max_us());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(h->PercentileUs(q), left.PercentileUs(q)) << "q=" << q;
+    }
+  }
+  ExpectPercentilesWithinBound(left, all);
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyKeepsExactExtremes) {
+  LatencyHistogram a, b;
+  a.Record(42);
+  a.Merge(b);  // merging in an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min_us(), 42);
+  EXPECT_EQ(a.max_us(), 42);
+  b.Merge(a);  // and an empty one adopts the other's extremes
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min_us(), 42);
+  EXPECT_EQ(b.max_us(), 42);
 }
 
 TEST(RuntimeSummaryTest, MinMaxAvg) {
